@@ -1,0 +1,28 @@
+"""Shared configuration for the figure benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table/figure of the paper (printed to
+stdout; use ``-s`` to see it live) and times the relevant kernel or
+model with pytest-benchmark.  Shape assertions live inside the
+benchmarks so a regression in any reproduced claim fails the run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated figure (visible with -s / captured otherwise)."""
+    sys.stdout.write("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def paper_nodes() -> list[int]:
+    """The node counts of the paper's weak-scaling figures."""
+    return [1, 2, 4, 8, 16, 32, 64]

@@ -1,0 +1,70 @@
+"""Ablation — the oversampling rate beta (a key design parameter).
+
+The paper fixes beta = 1/4 ("our favorite choice ... is by no means the
+only option").  This ablation sweeps beta and shows the tension it
+controls:
+
+- smaller beta => less extra data/arithmetic/communication (the SOI
+  exchange carries (1+beta)N points) but a narrower alias margin, so a
+  wider stencil B is needed for the same accuracy;
+- larger beta => cheap windows (small B) but more traffic, eroding the
+  communication advantage (speedup bound 3/(1+beta) falls).
+
+Measured: real SNR and designed B per beta.  Modelled: the 10 GbE
+saturation speedup 3/(1+beta).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench import format_table, random_complex
+from repro.core import SoiPlan, design_window, snr_db, soi_fft
+
+N = 1 << 13
+TARGET_DIGITS = 12.0
+BETAS = [0.125, 0.25, 0.5, 1.0]
+
+
+def sweep_beta():
+    x = random_complex(N, 11)
+    ref = np.fft.fft(x)
+    rows = []
+    for beta in BETAS:
+        design = design_window(TARGET_DIGITS, beta=beta)
+        plan = SoiPlan(n=N, p=4, beta=beta, window=design)
+        snr = snr_db(soi_fft(x, plan), ref)
+        bound = 3.0 / (1.0 + beta)
+        rows.append([beta, design.b, snr, snr / 20.0, bound])
+    return rows
+
+
+def test_ablation_beta(benchmark):
+    rows = benchmark.pedantic(sweep_beta, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["beta", "designed B", "SNR dB", "digits", "speedup bound 3/(1+beta)"],
+            rows,
+            title=f"Ablation: oversampling rate at a {TARGET_DIGITS}-digit target",
+        )
+    )
+    bs = [r[1] for r in rows]
+    bounds = [r[4] for r in rows]
+    # B shrinks monotonically as beta grows (wider alias margin).
+    assert bs == sorted(bs, reverse=True)
+    # ... while the communication-advantage ceiling falls.
+    assert bounds == sorted(bounds, reverse=True)
+    # Every configuration still meets (approximately) the digit target.
+    for row in rows:
+        assert row[3] > TARGET_DIGITS - 2.0
+
+
+@pytest.mark.parametrize("beta", [0.25, 0.5])
+def test_ablation_beta_kernel_time(benchmark, beta):
+    """Real kernel: larger beta means more FFT work but a smaller B."""
+    design = design_window(TARGET_DIGITS, beta=beta)
+    plan = SoiPlan(n=N, p=4, beta=beta, window=design)
+    x = random_complex(N, 12)
+    benchmark.extra_info["beta"] = beta
+    benchmark.extra_info["B"] = plan.b
+    benchmark(soi_fft, x, plan)

@@ -1,0 +1,68 @@
+"""Ablation — segments per process (granularity of parallelism).
+
+Section 6: "In general, P can be a multiple of number of processor
+nodes, increasing the granularity of parallelism"; the paper runs 8
+segments per process (Table 1).  This ablation runs the REAL
+distributed algorithm at several segments-per-rank settings and checks
+the tradeoff the choice controls:
+
+- more segments => shorter per-segment FFTs (M' shrinks) and a finer
+  all-to-all decomposition — same total volume;
+- but the halo (B - nu) * P grows linearly with P, and too many
+  segments can exceed a rank's block.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench import format_table, random_complex
+from repro.core import SoiPlan, snr_db
+from repro.parallel import soi_fft_distributed, split_blocks
+from repro.simmpi import run_spmd
+
+N = 1 << 14
+RANKS = 4
+
+
+def sweep_segments():
+    x = random_complex(N, 15)
+    ref = np.fft.fft(x)
+    blocks = split_blocks(x, RANKS)
+    rows = []
+    for segs_per_rank in (1, 2, 4, 8):
+        p = RANKS * segs_per_rank
+        plan = SoiPlan(n=N, p=p, window="digits10")
+        res = run_spmd(
+            RANKS, lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan)
+        )
+        y = np.concatenate(res.values)
+        a2a = res.stats.phase("alltoall").total_bytes
+        halo = res.stats.phase("halo").offnode_bytes()
+        rows.append(
+            [segs_per_rank, p, plan.m_over, snr_db(y, ref), a2a, halo]
+        )
+    return rows
+
+
+def test_ablation_segments_per_rank(benchmark):
+    rows = benchmark.pedantic(sweep_segments, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["seg/rank", "P", "M'", "SNR dB", "all-to-all bytes", "halo bytes"],
+            rows,
+            title=f"Ablation: segments per rank (N=2^14, {RANKS} ranks, digits10)",
+        )
+    )
+    # Total all-to-all volume is invariant: always (1+beta) N points.
+    volumes = {r[4] for r in rows}
+    assert volumes == {int(1.25 * N * 16)}
+    # Halo grows linearly with P.
+    halos = [r[5] for r in rows]
+    assert halos == sorted(halos)
+    assert halos[-1] == 8 * halos[0] * (rows[-1][1] / rows[0][1]) / 8
+    # Accuracy unaffected by the decomposition.
+    snrs = [r[3] for r in rows]
+    assert max(snrs) - min(snrs) < 10.0
+    # Per-segment FFT length shrinks with more segments.
+    ms = [r[2] for r in rows]
+    assert ms == sorted(ms, reverse=True)

@@ -1,0 +1,48 @@
+"""Figure 6 — Gordon (3-D torus InfiniBand): SOI vs MKL.
+
+The paper's second weak-scaling comparison (run by E. Polizzi on XSEDE
+Gordon).  Key shape: similar to Endeavor at small scale, with an
+*additional* SOI gain from 32 nodes onwards because the torus bisection
+(~n^(2/3)) falls behind the all-to-all demand — asserted against the
+Endeavor sweep directly.
+"""
+
+from conftest import emit
+
+from repro.bench import run_figure_sweep
+from repro.cluster import cluster
+
+
+def test_fig6_weak_scaling_gordon(benchmark, paper_nodes):
+    fig = benchmark(
+        run_figure_sweep, "Figure 6", cluster("gordon"), paper_nodes, ["SOI", "MKL"]
+    )
+    emit(fig.text)
+    speed = dict(zip(paper_nodes, fig.sweep.speedup_series("MKL")))
+    multi = [n for n in paper_nodes if n > 1]
+    for n in multi:
+        assert speed[n] > 1.15
+    # Speedup grows with scale on the torus.
+    assert speed[64] > speed[2]
+
+    # The Fig. 6 observation: extra gain over the fat tree at >= 32 nodes.
+    endeavor = run_figure_sweep(
+        "Endeavor ref", cluster("endeavor"), paper_nodes, ["SOI", "MKL"]
+    )
+    e_speed = dict(zip(paper_nodes, endeavor.sweep.speedup_series("MKL")))
+    assert speed[64] > e_speed[64]
+    emit(
+        f"torus-vs-fat-tree extra gain at 64 nodes: "
+        f"{speed[64]:.2f}x vs {e_speed[64]:.2f}x"
+    )
+
+
+def test_fig6_comm_fraction_rises(benchmark, paper_nodes):
+    """Communication share of MKL's modelled time rises with node count
+    on the torus — the mechanism behind the Fig. 6 divergence."""
+    fig = benchmark(
+        run_figure_sweep, "Fig 6 comm", cluster("gordon"), paper_nodes, ["SOI", "MKL"]
+    )
+    fractions = fig.sweep.comm_fractions("MKL")
+    assert fractions[-1] >= fractions[1]
+    assert fractions[-1] > 0.85

@@ -1,0 +1,74 @@
+"""Figure 7 — accuracy/performance tradeoff (64 Gordon nodes).
+
+The framework's unique dial: letting kappa grow buys faster-decaying
+windows, a smaller stencil B, and hence less convolution arithmetic.
+The paper shows SNR dropping from 290 dB toward 10-digit accuracy while
+the SOI-over-MKL speedup climbs past 2x.
+
+Regenerated two ways:
+- REAL accuracy: each preset's measured SNR on actual data (and actual
+  kernel timings under pytest-benchmark, where smaller B must be faster);
+- MODELLED speed: the Section-7.4 model at 64 Gordon nodes with the
+  preset's B.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench import format_table, random_complex
+from repro.cluster import cluster
+from repro.core import SoiPlan, snr_db, soi_fft
+from repro.core.design import preset_design
+from repro.perf import run_sweep
+
+LADDER = ["full", "digits13", "digits12", "digits11", "digits10"]
+N = 1 << 14
+
+
+def measure_ladder():
+    x = random_complex(N, 7)
+    ref = np.fft.fft(x)
+    rows = []
+    for preset in LADDER:
+        design = preset_design(preset)
+        plan = SoiPlan(n=N, p=8, window=preset)
+        measured_snr = snr_db(soi_fft(x, plan), ref)
+        sweep = run_sweep(cluster("gordon"), [64], libraries=["SOI", "MKL"], b=design.b)
+        speedup = sweep.speedup_series("MKL")[0]
+        gflops = sweep.points[("SOI", 64)].gflops
+        rows.append([preset, design.b, measured_snr, measured_snr / 20.0, gflops, speedup])
+    return rows
+
+
+def test_fig7_accuracy_performance_tradeoff(benchmark):
+    rows = benchmark(measure_ladder)
+    emit(
+        format_table(
+            ["window", "B", "SNR dB (measured)", "digits", "SOI GFLOPS (model)", "speedup vs MKL"],
+            rows,
+            title="Figure 7 — accuracy for speed (64-node Gordon model + measured SNR)",
+        )
+    )
+    snrs = [r[2] for r in rows]
+    speedups = [r[5] for r in rows]
+    bs = [r[1] for r in rows]
+    # Accuracy decreases down the ladder while speedup increases.
+    assert snrs == sorted(snrs, reverse=True)
+    assert speedups == sorted(speedups)
+    assert bs == sorted(bs, reverse=True)
+    # Paper anchors: full accuracy ~290 dB; ~10 digits at the bottom.
+    assert snrs[0] > 280.0
+    assert 190.0 < snrs[-1] < 230.0
+    # Fig. 7: relaxing to ~10 digits buys a visible extra speedup.
+    assert speedups[-1] > speedups[0] * 1.05
+
+
+@pytest.mark.parametrize("preset", ["full", "digits10"])
+def test_fig7_kernel_time_scales_with_b(benchmark, preset):
+    """REAL kernel timing: the digits10 stencil (B=44) must beat the
+    full-accuracy stencil (B=78) on the same data."""
+    plan = SoiPlan(n=N, p=8, window=preset)
+    x = random_complex(N, 8)
+    benchmark.extra_info["B"] = plan.b
+    benchmark(soi_fft, x, plan)

@@ -1,0 +1,59 @@
+"""Figure 8 — Endeavor on 10 Gigabit Ethernet: the 3/(1+beta) regime.
+
+With a slow fabric, execution is communication-dominated and the SOI
+advantage approaches the pure all-to-all-count ratio::
+
+    speedup -> 3 / (1 + beta) = 3 / 1.25 = 2.4
+
+The paper measures [2.3, 2.4] and calls the match with theory
+"practically perfect".  We assert the same band and the same
+saturation behaviour.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series, run_figure_sweep
+from repro.cluster import cluster
+
+THEORETICAL = 3.0 / 1.25
+
+
+def test_fig8_ethernet_speedup_band(benchmark, paper_nodes):
+    fig = benchmark(
+        run_figure_sweep,
+        "Figure 8",
+        cluster("endeavor-10gbe"),
+        paper_nodes,
+        ["SOI", "MKL"],
+    )
+    emit(fig.text)
+    emit(f"theoretical bound 3/(1+beta) = {THEORETICAL:.2f}")
+    speed = dict(zip(paper_nodes, fig.sweep.speedup_series("MKL")))
+    multi = [n for n in paper_nodes if n > 1]
+    for n in multi:
+        assert 2.3 <= speed[n] <= 2.4, f"outside the paper's [2.3, 2.4] at {n} nodes"
+        assert speed[n] < THEORETICAL
+
+    # Saturation: the curve is flat (variation < 3% across 2..64 nodes).
+    values = [speed[n] for n in multi]
+    assert max(values) / min(values) < 1.03
+
+
+def test_fig8_communication_dominates(benchmark, paper_nodes):
+    fig = benchmark(
+        run_figure_sweep,
+        "Fig 8 comm",
+        cluster("endeavor-10gbe"),
+        paper_nodes,
+        ["SOI", "MKL"],
+    )
+    emit(
+        format_series(
+            "MKL comm fraction", paper_nodes, fig.sweep.comm_fractions("MKL")
+        )
+    )
+    # Section 1: all-to-alls account for "50% to over 90%" — on 10 GbE
+    # the model sits at the extreme end of that range.
+    for n, frac in zip(paper_nodes, fig.sweep.comm_fractions("MKL")):
+        if n > 1:
+            assert frac > 0.9

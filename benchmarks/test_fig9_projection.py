@@ -1,0 +1,60 @@
+"""Figure 9 — speedup projection on a hypothetical k-ary 3-D torus.
+
+The paper-literal Section 7.4 model (peak QDR bandwidths, T_fft
+calibrated from the single-node time, c in [0.75, 1.25]) evaluated out
+to Jaguar scale (~18K nodes).  Shape claims: the projected SOI-over-MKL
+speedup rises with node count, stays below 3, and the c band forms a
+visible envelope.
+"""
+
+from conftest import emit
+
+from repro.bench import format_series, format_table
+from repro.perf import ProjectionModel, projection_curve
+
+NODES = [16, 128, 432, 1024, 2000, 4096, 8192, 16384]
+
+
+def test_fig9_projection_band(benchmark):
+    curves = benchmark(projection_curve, NODES)
+    rows = [
+        [n] + [curves[c][i] for c in (0.75, 1.0, 1.25)] for i, n in enumerate(NODES)
+    ]
+    emit(
+        format_table(
+            ["nodes", "speedup c=0.75", "speedup c=1.00", "speedup c=1.25"],
+            rows,
+            title="Figure 9 — projected SOI/MKL speedup, hypothetical 3-D torus",
+        )
+    )
+    for c, series in curves.items():
+        # rising with scale in the bisection-bound regime
+        assert series[-1] > series[1]
+        assert all(s < 3.0 for s in series)
+    # The paper's envelope: c=0.75 above c=1.25 everywhere.
+    for i in range(len(NODES)):
+        assert curves[0.75][i] > curves[1.25][i]
+    # Jaguar-scale projection comfortably above 1.5x.
+    assert curves[1.0][-1] > 1.5
+
+
+def test_fig9_component_times(benchmark):
+    """Section 7.4's modelled ingredients at a reference scale."""
+    model = ProjectionModel()
+
+    def components():
+        n = 4096
+        return model.t_fft(n), model.t_conv(), model.t_mpi(n)
+
+    t_fft, t_conv, t_mpi = benchmark(components)
+    emit(
+        format_series(
+            "model components at n=4096 (s)",
+            ["t_fft", "t_conv", "t_mpi"],
+            [t_fft, t_conv, t_mpi],
+        )
+    )
+    # Paper: convolution time ~ FFT time at full accuracy.
+    assert 0.5 < t_conv / t_fft < 2.0
+    # At 4096 nodes the torus is bisection-bound: comm dwarfs compute.
+    assert t_mpi > t_fft

@@ -1,0 +1,41 @@
+"""Table 1 — system configuration.
+
+Regenerates the paper's Table 1 from the modelled machine constants:
+the compute-node block (Xeon E5-2670), the interconnect block (Endeavor
+fat tree vs Gordon torus), and the library-settings block.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.cluster import CLUSTERS, LIBRARY_PROFILES, cluster
+
+
+def build_table1() -> str:
+    node = cluster("endeavor").node
+    rows = [["Compute node", ""]]
+    rows += [[k, v] for k, v in node.table_rows()]
+    rows.append(["Interconnect", ""])
+    rows.append(["Fabric", "QDR InfiniBand 4x"])
+    rows.append(["Topology (Endeavor)", cluster("endeavor").fabric.name])
+    rows.append(["Topology (Gordon)", cluster("gordon").fabric.name])
+    rows.append(["Libraries", ""])
+    rows.append(["SOI", "8 segment/process, beta=1/4, B=78, SNR ~ 288 dB"])
+    for lib in ("MKL", "FFTE", "FFTW"):
+        prof = LIBRARY_PROFILES[lib]
+        rows.append(
+            [lib, f"triple-all-to-all six-step, fft eff {prof.fft_efficiency:.0%}"]
+        )
+    return format_table(["Field", "Value"], rows, title="Table 1 — System configuration")
+
+
+def test_table1_system_configuration(benchmark):
+    table = benchmark(build_table1)
+    emit(table)
+    # Table-1 ground truths:
+    node = cluster("endeavor").node
+    assert node.dp_gflops == 330.0
+    assert node.cores == 16
+    assert set(CLUSTERS) == {"endeavor", "endeavor-10gbe", "gordon"}
+    assert "2 x 8 x 2" in table
+    assert "330" in table

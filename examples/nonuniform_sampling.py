@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""NUFFT from the SOI framework: spectra of irregularly sampled data.
+
+The paper's conclusion notes its general convolution theorem rederives
+the nonuniform-FFT literature.  This example exercises that claim on a
+classic task: recovering the line spectrum of a signal observed at
+jittered (non-equispaced) times — e.g. astronomical or sensor data —
+using the same designed windows the SOI FFT uses.
+
+Run:  python examples/nonuniform_sampling.py
+"""
+
+import numpy as np
+
+from repro.nufft import NufftPlan, nudft1, nufft1, nufft2
+
+K = 512          # recover modes k in [-256, 256)
+N_SAMPLES = 2000
+TONES = {37: 1.0, -120: 0.6, 201: 0.3}
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    # Jittered sampling: roughly uniform coverage, nothing equispaced.
+    t = np.sort(rng.random(N_SAMPLES))
+    signal = sum(
+        amp * np.exp(2j * np.pi * k * t) for k, amp in TONES.items()
+    )
+
+    plan = NufftPlan(K, window="full")
+    print(plan.describe())
+
+    # Type-1: Fourier coefficients of the scattered samples (weighted by
+    # the 1/N quadrature of near-uniform random sampling).
+    y = nufft1(t, signal / N_SAMPLES, plan)
+    ref = nudft1(t, signal / N_SAMPLES, K)
+    print(f"\nNUFFT vs direct sum: rel err = "
+          f"{np.linalg.norm(y - ref) / np.linalg.norm(ref):.2e}")
+
+    k_axis = np.arange(-K // 2, K // 2)
+    print("\nrecovered line spectrum (|amplitude| > 0.1):")
+    for idx in np.nonzero(np.abs(y) > 0.1)[0]:
+        print(f"  mode {k_axis[idx]:+5d}: amplitude {abs(y[idx]):.3f} "
+              f"(true {TONES.get(int(k_axis[idx]), 0.0):.3f})")
+    recovered = {int(k_axis[i]) for i in np.nonzero(np.abs(y) > 0.1)[0]}
+    assert recovered == set(TONES), recovered
+
+    # Type-2: resample the recovered model at NEW irregular times and
+    # compare with the ground-truth signal there.
+    t_new = rng.random(200)
+    truth = sum(amp * np.exp(2j * np.pi * k * t_new) for k, amp in TONES.items())
+    c = np.zeros(K, dtype=complex)
+    for k, amp in TONES.items():
+        c[K // 2 + k] = amp
+    resampled = nufft2(t_new, c, plan)
+    err = np.linalg.norm(resampled - truth) / np.linalg.norm(truth)
+    print(f"\ntype-2 resampling at 200 new irregular times: rel err = {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

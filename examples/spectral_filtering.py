@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Segment-of-interest spectroscopy: find narrow tones without a full FFT.
+
+The intro-level motivation for the SOI machinery (Fig. 1): when only a
+narrow frequency band matters, the hybrid convolution theorem lets you
+compute JUST that band — one short convolution pass plus one small FFT
+of length M' = (1+beta) N/P, instead of the full N-point transform.
+
+This example hides three weak tones in noise, locates their band with a
+cheap coarse probe, then zooms into single segments with soi_segment
+and recovers the exact tone frequencies and amplitudes.
+
+Run:  python examples/spectral_filtering.py
+"""
+
+import numpy as np
+
+from repro import SoiPlan, soi_segment
+from repro.bench.workloads import noisy_tones
+from repro.dft.flops import fft_flops, soi_convolution_flops
+
+N = 1 << 16
+P = 32  # narrow segments: each covers N/P = 2048 bins
+TONES = [5000, 5003, 37011]
+AMPS = [1.0, 0.35, 0.8]
+
+
+def main() -> None:
+    x = noisy_tones(N, TONES, snr_db=25.0, seed=3)
+    # amplitudes: rebuild with custom amps
+    from repro.bench.workloads import multitone
+
+    x = multitone(N, TONES, AMPS) + (x - multitone(N, TONES))
+
+    plan = SoiPlan(n=N, p=P, window="digits10")
+    print(plan.describe())
+
+    # Which segments hold the tones?  (In a real pipeline a coarse
+    # decimated probe picks these; here we compute the two we care about.)
+    segments = sorted({f // plan.m for f in TONES})
+    print(f"\nzooming into segments {segments} "
+          f"(each {plan.m} bins wide) out of {P}:")
+
+    found = []
+    for s in segments:
+        spectrum = soi_segment(x, plan, s)
+        power = np.abs(spectrum)
+        # Peaks at least 10x the segment's median noise floor.
+        floor = np.median(power)
+        for k in np.nonzero(power > 10 * floor)[0]:
+            freq = s * plan.m + int(k)
+            found.append((freq, power[k] / N))
+            print(f"  segment {s}: tone at bin {freq}, amplitude ~{power[k] / N:.3f}")
+
+    recovered = {f for f, _ in found}
+    assert recovered == set(TONES), (recovered, TONES)
+    print("\nall injected tones recovered, including the 3-bin-apart pair")
+
+    # Cost anatomy (flops, paper conventions).  One segment needs the
+    # B-tap convolution pass over the (oversampled) input plus ONE
+    # length-M' FFT — no length-N transform and no global reordering;
+    # arithmetic is dominated by the filter, while the transform part
+    # collapses from 5*N*log2(N) to 5*M'*log2(M').
+    conv = soi_convolution_flops(plan.n_over, plan.b)
+    tiny_fft = fft_flops(plan.m_over)
+    full = fft_flops(N)
+    print(f"\nflops: full N-point FFT {full:,.0f}")
+    print(f"       one segment  = convolution {conv:,.0f} + "
+          f"length-M' FFT {tiny_fft:,.0f}")
+    print(f"       transform work shrinks {full / tiny_fft:,.0f}-fold; "
+          f"the stencil pass streams x once with no communication")
+
+
+if __name__ == "__main__":
+    main()

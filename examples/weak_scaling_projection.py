@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures as text (Figs. 5, 6, 8, 9).
+
+Weak-scaling GFLOPS and SOI-over-MKL speedups on the three modelled
+systems (Endeavor fat tree, Gordon 3-D torus, Endeavor 10 GbE), plus
+the Section-7.4 projection to a Jaguar-scale hypothetical torus.
+
+Run:  python examples/weak_scaling_projection.py
+"""
+
+from repro.bench import bar_chart, format_table, run_figure_sweep
+from repro.cluster import cluster
+from repro.perf import projection_curve
+
+NODES = [1, 2, 4, 8, 16, 32, 64]
+
+
+def main() -> None:
+    for title, cname, libs in [
+        ("Figure 5", "endeavor", ["SOI", "MKL", "FFTE", "FFTW"]),
+        ("Figure 6", "gordon", ["SOI", "MKL"]),
+        ("Figure 8", "endeavor-10gbe", ["SOI", "MKL"]),
+    ]:
+        fig = run_figure_sweep(title, cluster(cname), NODES, libs)
+        print(fig.text)
+        print()
+
+    # The Fig. 5 bar graph at 64 nodes, as bars:
+    fig5 = run_figure_sweep("", cluster("endeavor"), [64], ["SOI", "MKL", "FFTE", "FFTW"])
+    print(
+        bar_chart(
+            ["SOI", "MKL", "FFTE", "FFTW"],
+            [fig5.sweep.points[(lib, 64)].gflops for lib in ("SOI", "MKL", "FFTE", "FFTW")],
+            title="GFLOPS at 64 Endeavor nodes (Fig. 5 bars)",
+        )
+    )
+    print()
+
+    # Figure 9: projection out to Jaguar scale.
+    proj_nodes = [16, 128, 1024, 4096, 16384]
+    curves = projection_curve(proj_nodes)
+    rows = [
+        [n] + [f"{curves[c][i]:.2f}" for c in (0.75, 1.0, 1.25)]
+        for i, n in enumerate(proj_nodes)
+    ]
+    print(
+        format_table(
+            ["nodes", "c=0.75", "c=1.00", "c=1.25"],
+            rows,
+            title="Figure 9 — projected speedup on a hypothetical 3-D torus",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

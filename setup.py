@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The normal install path is ``pip install -e .`` (PEP 660).  On offline
+machines without the ``wheel`` package that path fails, so this shim
+keeps ``python setup.py develop`` working as a fallback; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "A framework for low-communication 1-D FFT".
+
+Tang, Park, Kim, Petrov (Intel), SC 2012 best paper / Scientific
+Programming 21 (2013) 181-195.
+
+The package implements the SOI (Segment-Of-Interest) FFT — a family of
+single-all-to-all, in-order, O(N log N) DFT factorisations — together
+with every substrate it depends on: a node-local FFT library
+(:mod:`repro.dft`), a message-passing runtime with traffic accounting
+(:mod:`repro.simmpi`), cluster interconnect models (:mod:`repro.cluster`),
+the triple-all-to-all baseline algorithms (:mod:`repro.parallel`), and
+the paper's analytic performance model (:mod:`repro.perf`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SoiPlan, soi_fft
+
+    n, p = 4096, 8                  # N data points, P segments
+    plan = SoiPlan(n=n, p=p)        # beta=1/4, full-accuracy window
+    x = np.random.default_rng(0).standard_normal(n) + 0j
+    y = soi_fft(x, plan)            # ~ np.fft.fft(x) to ~13-14 digits
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]
+
+try:
+    from .core import (  # noqa: F401
+        SoiPlan,
+        TauSigmaWindow,
+        GaussianWindow,
+        design_window,
+        soi_fft,
+        soi_ifft,
+        soi_fft2,
+        soi_segment,
+        snr_db,
+    )
+    from .simmpi import run_spmd  # noqa: F401
+    from .parallel import soi_fft_distributed, transpose_fft_distributed  # noqa: F401
+
+    __all__ += [
+        "SoiPlan",
+        "TauSigmaWindow",
+        "GaussianWindow",
+        "design_window",
+        "soi_fft",
+        "soi_ifft",
+        "soi_fft2",
+        "soi_segment",
+        "snr_db",
+        "run_spmd",
+        "soi_fft_distributed",
+        "transpose_fft_distributed",
+    ]
+except ImportError:  # pragma: no cover - only during partial source builds
+    pass

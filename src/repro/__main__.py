@@ -1,0 +1,170 @@
+"""Command-line entry point: regenerate the paper's evaluation as text.
+
+Usage::
+
+    python -m repro                 # all figures + accuracy + traffic
+    python -m repro fig5 fig8      # a subset
+    python -m repro --list
+
+Each section prints the same rows/series the corresponding paper
+table/figure reports (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _fig_sweeps(names: list[str]) -> None:
+    from .bench import run_figure_sweep
+    from .cluster import cluster
+
+    nodes = [1, 2, 4, 8, 16, 32, 64]
+    configs = {
+        "fig5": ("Figure 5", "endeavor", ["SOI", "MKL", "FFTE", "FFTW"]),
+        "fig6": ("Figure 6", "gordon", ["SOI", "MKL"]),
+        "fig8": ("Figure 8", "endeavor-10gbe", ["SOI", "MKL"]),
+    }
+    for key in names:
+        title, cname, libs = configs[key]
+        print(run_figure_sweep(title, cluster(cname), nodes, libs).text)
+        print()
+
+
+def _fig7() -> None:
+    from .bench import format_table, random_complex
+    from .cluster import cluster
+    from .core import SoiPlan, snr_db, soi_fft
+    from .core.design import preset_design
+    from .perf import run_sweep
+
+    n = 1 << 14
+    x = random_complex(n, 7)
+    ref = np.fft.fft(x)
+    rows = []
+    for preset in ("full", "digits13", "digits12", "digits11", "digits10"):
+        design = preset_design(preset)
+        plan = SoiPlan(n=n, p=8, window=preset)
+        snr = snr_db(soi_fft(x, plan), ref)
+        sweep = run_sweep(cluster("gordon"), [64], libraries=["SOI", "MKL"], b=design.b)
+        rows.append([preset, design.b, snr, sweep.speedup_series("MKL")[0]])
+    print(
+        format_table(
+            ["window", "B", "SNR dB (measured)", "64-node speedup (model)"],
+            rows,
+            title="Figure 7 — accuracy for speed",
+        )
+    )
+    print()
+
+
+def _fig9() -> None:
+    from .bench import format_table
+    from .perf import projection_curve
+
+    nodes = [16, 128, 1024, 4096, 16384]
+    curves = projection_curve(nodes)
+    rows = [
+        [n] + [curves[c][i] for c in (0.75, 1.0, 1.25)] for i, n in enumerate(nodes)
+    ]
+    print(
+        format_table(
+            ["nodes", "c=0.75", "c=1.00", "c=1.25"],
+            rows,
+            title="Figure 9 — projected speedup, hypothetical 3-D torus",
+        )
+    )
+    print()
+
+
+def _table1() -> None:
+    from .bench import format_table
+    from .cluster import cluster
+
+    node = cluster("endeavor").node
+    rows = node.table_rows()
+    rows.append(("Endeavor fabric", cluster("endeavor").fabric.name))
+    rows.append(("Gordon fabric", cluster("gordon").fabric.name))
+    print(format_table(["Field", "Value"], rows, title="Table 1 — system configuration"))
+    print()
+
+
+def _snr() -> None:
+    from .bench import format_table, random_complex
+    from .core import SoiPlan, snr_db, soi_fft
+
+    n = 1 << 14
+    x = random_complex(n, 42)
+    plan = SoiPlan(n=n, p=8)
+    soi_snr = snr_db(soi_fft(x, plan), np.fft.fft(x))
+    print(
+        format_table(
+            ["transform", "SNR dB"],
+            [["SOI (full accuracy)", soi_snr], ["paper's SOI", 290.0], ["paper's MKL", 310.0]],
+            title="Section 7.2 — accuracy",
+        )
+    )
+    print()
+
+
+def _traffic() -> None:
+    from .bench import format_table, measured_traffic
+    from .core import SoiPlan
+
+    n, ranks = 1 << 13, 4
+    plan = SoiPlan(n=n, p=8)
+    facts = measured_traffic(n, ranks, plan)
+    soi_a2a = facts["soi_stats"].phase("alltoall").total_bytes
+    std = sum(
+        facts["std_stats"].phase(p).total_bytes
+        for p in ("transpose-1", "transpose-2", "transpose-3")
+    )
+    print(
+        format_table(
+            ["algorithm", "all-to-all rounds", "bytes moved"],
+            [["SOI", facts["soi_alltoall_rounds"], soi_a2a],
+             ["six-step baseline", facts["std_alltoall_rounds"], std]],
+            title=f"Communication structure (measured, N=2^13, {ranks} ranks)",
+        )
+    )
+    print()
+
+
+SECTIONS = {
+    "table1": _table1,
+    "snr": _snr,
+    "traffic": _traffic,
+    "fig5": lambda: _fig_sweeps(["fig5"]),
+    "fig6": lambda: _fig_sweeps(["fig6"]),
+    "fig7": _fig7,
+    "fig8": lambda: _fig_sweeps(["fig8"]),
+    "fig9": _fig9,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures as text.",
+    )
+    parser.add_argument(
+        "sections",
+        nargs="*",
+        choices=[*SECTIONS, []],
+        help=f"subset to regenerate (default: all of {', '.join(SECTIONS)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list sections and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(SECTIONS))
+        return 0
+    for name in args.sections or list(SECTIONS):
+        SECTIONS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

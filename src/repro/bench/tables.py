@@ -1,0 +1,60 @@
+"""ASCII table/series printers for the benchmark harness.
+
+Every benchmark regenerates its paper table/figure as plain text (the
+"same rows/series the paper reports"); these helpers keep the output
+format consistent across all of them and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series", "bar_chart"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Monospace table with a rule under the header."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[float]) -> str:
+    """One labelled (x, y) series as the paper's line graphs report them."""
+    pts = ", ".join(f"{x}:{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (the figures' bar graphs in text form)."""
+    vmax = max(values) if values else 1.0
+    lines = [title] if title else []
+    lwidth = max((len(str(l)) for l in labels), default=0)
+    for label, val in zip(labels, values):
+        bar = "#" * max(int(round(width * val / vmax)), 0) if vmax > 0 else ""
+        lines.append(f"{str(label).rjust(lwidth)} | {bar} {_fmt(val)}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Cluster substrate: machine constants and interconnect models.
+
+Replaces the paper's physical clusters (Table 1) with analytic models —
+the same substitution the paper itself makes in Section 7.4 when it
+projects performance onto a hypothetical 18K-node torus.
+"""
+
+from .machine import GBIT, LIBRARY_PROFILES, LibraryProfile, NodeSpec, XEON_E5_2670_NODE
+from .topology import EthernetFabric, FatTree, Topology, Torus3D
+from .fabrics import CLUSTERS, ClusterSpec, cluster
+
+__all__ = [
+    "GBIT",
+    "LIBRARY_PROFILES",
+    "LibraryProfile",
+    "NodeSpec",
+    "XEON_E5_2670_NODE",
+    "EthernetFabric",
+    "FatTree",
+    "Topology",
+    "Torus3D",
+    "CLUSTERS",
+    "ClusterSpec",
+    "cluster",
+]

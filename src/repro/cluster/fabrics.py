@@ -1,0 +1,61 @@
+"""Named cluster configurations matching the paper's test systems.
+
+Table 1 describes two clusters sharing the same node type:
+
+- **Endeavor** — Intel's cluster: two-level 14-ary fat tree, QDR IB;
+  also run with a 10 GbE fabric for the Fig. 8 experiment.
+- **Gordon** — XSEDE Gordon (UMass/E. Polizzi's runs): 4-ary 3-D torus
+  with concentration factor 16, QDR IB.
+
+:func:`cluster` returns ``(NodeSpec, Topology)`` pairs by name so every
+benchmark references the systems the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import XEON_E5_2670_NODE, NodeSpec
+from .topology import EthernetFabric, FatTree, Topology, Torus3D
+
+__all__ = ["ClusterSpec", "cluster", "CLUSTERS"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named (node, fabric) pair."""
+
+    name: str
+    node: NodeSpec
+    fabric: Topology
+    description: str
+
+
+CLUSTERS: dict[str, ClusterSpec] = {
+    "endeavor": ClusterSpec(
+        "endeavor",
+        XEON_E5_2670_NODE,
+        FatTree(arity=14, link_gbit=40.0, linear_limit=32),
+        "Intel Endeavor: two-level 14-ary fat tree, 4x QDR InfiniBand",
+    ),
+    "endeavor-10gbe": ClusterSpec(
+        "endeavor-10gbe",
+        XEON_E5_2670_NODE,
+        EthernetFabric(link_gbit=10.0),
+        "Endeavor nodes on a 10 Gigabit Ethernet fabric (Fig. 8 setting)",
+    ),
+    "gordon": ClusterSpec(
+        "gordon",
+        XEON_E5_2670_NODE,
+        Torus3D(link_gbit=40.0, local_links=1, global_links_effective=2.0, concentration=16),
+        "XSEDE Gordon: 4-ary 3-D torus, concentration factor 16, 4x QDR IB",
+    ),
+}
+
+
+def cluster(name: str) -> ClusterSpec:
+    """Look up a modelled cluster by name (endeavor / endeavor-10gbe / gordon)."""
+    try:
+        return CLUSTERS[name]
+    except KeyError:
+        raise KeyError(f"unknown cluster {name!r}; available: {sorted(CLUSTERS)}") from None

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the SOI low-communication FFT.
+
+Submodules
+----------
+- :mod:`~repro.core.windows` — window functions (Eq. 2) and design metrics;
+- :mod:`~repro.core.design` — (tau, sigma, B) search for target accuracy;
+- :mod:`~repro.core.theory` — Definition 1 operators and Theorem 1;
+- :mod:`~repro.core.plan` — :class:`SoiPlan`: frozen transform parameters;
+- :mod:`~repro.core.soi` — the sequential SOI FFT pipeline (Eq. 6);
+- :mod:`~repro.core.matrices` — dense reference factorisations for tests;
+- :mod:`~repro.core.accuracy` — SNR / digits / error-budget metrics.
+"""
+
+from .windows import ReferenceWindow, TauSigmaWindow, GaussianWindow, window_from_spec
+from .design import WindowDesign, design_window, named_window, preset_design, NAMED_PRESETS
+from .plan import SoiPlan
+from .soi import soi_fft, soi_ifft, soi_fft2, soi_segment, soi_convolve
+from .accuracy import (
+    snr_db,
+    digits_from_snr,
+    snr_from_digits,
+    relative_l2_error,
+    error_budget,
+)
+
+# Re-exported under the name used in the package docstring examples.
+SoiWindowSpec = WindowDesign
+
+__all__ = [
+    "ReferenceWindow",
+    "TauSigmaWindow",
+    "GaussianWindow",
+    "window_from_spec",
+    "WindowDesign",
+    "SoiWindowSpec",
+    "design_window",
+    "named_window",
+    "preset_design",
+    "NAMED_PRESETS",
+    "SoiPlan",
+    "soi_fft",
+    "soi_ifft",
+    "soi_fft2",
+    "soi_segment",
+    "soi_convolve",
+    "snr_db",
+    "digits_from_snr",
+    "snr_from_digits",
+    "relative_l2_error",
+    "error_budget",
+]

@@ -1,0 +1,192 @@
+"""Dense reference factorisations (Sections 3, 5 and 8).
+
+Small-N dense constructions of every operator in the SOI factorisation
+
+    ``y ~= (I_P (x) W_hat^-1 P_proj F_M') P_perm^{P,N'} (I_M' (x) F_P) W x``
+
+so the structured fast path in :mod:`repro.core.soi` can be validated
+matrix-against-matrix, plus the Section-8 *exact* factorisation with the
+compact-support window (``w_hat = 1`` on ``[0, M-1]``, zero outside
+``(-1, M)``) — the instance of the framework that recovers the
+Edelman–McCorquodale–Toledo single-all-to-all FFT [14]:
+
+    ``F_N = (I_P (x) F_M) P_perm^{P,N} (I_M (x) F_P) W_exact``
+
+with ``W_exact`` dense (which is why [14] needed the fast multipole
+method, and why the paper prefers smooth windows with sparse W).
+
+Everything here is O(N^2) memory and exists for tests and exposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dft.naive import dft_matrix
+from ..utils import check_positive_int, require
+from .plan import SoiPlan
+
+__all__ = [
+    "stride_permutation_indices",
+    "stride_permutation_matrix",
+    "kron_identity_apply",
+    "dense_w_matrix",
+    "dense_c0_matrix",
+    "dense_soi_operator",
+    "exact_compact_w_matrix",
+    "exact_compact_fft",
+]
+
+
+def stride_permutation_indices(ell: int, n: int) -> np.ndarray:
+    """Index array of the stride-``ell`` permutation ``P_perm^{ell,n}``.
+
+    Per Section 5: ``w = P_perm^{ell,n} v  <=>  w[k + j*(n/ell)] =
+    v[j + k*ell]`` for ``0 <= j < ell``, ``0 <= k < n/ell`` — i.e. the
+    flattened transpose of the ``(n/ell, ell)`` row-major view.  Returns
+    ``idx`` with ``w = v[idx]``.
+    """
+    ell = check_positive_int(ell, "ell")
+    n = check_positive_int(n, "n")
+    require(n % ell == 0, f"ell={ell} must divide n={n}")
+    return np.arange(n).reshape(n // ell, ell).T.ravel()
+
+
+def stride_permutation_matrix(ell: int, n: int) -> np.ndarray:
+    """Dense 0/1 matrix of ``P_perm^{ell,n}`` (for factorisation tests)."""
+    idx = stride_permutation_indices(ell, n)
+    mat = np.zeros((n, n))
+    mat[np.arange(n), idx] = 1.0
+    return mat
+
+
+def kron_identity_apply(a: np.ndarray, x: np.ndarray, copies: int) -> np.ndarray:
+    """Apply ``(I_copies (x) A)`` to a vector without forming the Kronecker.
+
+    The parallel-programming reading of Section 6(a): ``copies``
+    independent applications of ``A`` to contiguous sub-vectors.
+    """
+    rows, cols = a.shape
+    vec = np.asarray(x)
+    require(vec.size == copies * cols, "size mismatch in kron apply")
+    return (vec.reshape(copies, cols) @ a.T).reshape(copies * rows)
+
+
+def dense_c0_matrix(plan: SoiPlan, images: int = 2) -> np.ndarray:
+    """The dense ``M'-by-N`` matrix ``C_0`` of Section 3/4 (Eq. 4).
+
+    ``c[j, k] = (1/M') * sum_i w(j/M' - (k + i*N)/N)`` over periodic
+    images ``i`` (the window support is < N for every valid plan, so a
+    few images suffice; *images* = 2 keeps sub-rounding accuracy).
+    """
+    j = np.arange(plan.m_over)[:, None]
+    k = np.arange(plan.n)[None, :]
+    acc = np.zeros((plan.m_over, plan.n), dtype=np.complex128)
+    for i in range(-images, images + 1):
+        t = j / plan.m_over - (k + i * plan.n) / plan.n
+        acc += plan.ref_window.w_time(t, plan.m, plan.b)
+    return acc / plan.m_over
+
+
+def dense_w_matrix(plan: SoiPlan) -> np.ndarray:
+    """The dense ``N'-by-N`` convolution matrix W assembled from the plan.
+
+    Row ``j*P + p`` scatters the coefficient template ``C[r, :, p]``
+    (``r = j mod mu``) at input columns ``(q*nu*P + b*P + p) mod N`` —
+    the Fig. 4 structure: B diagonal P-blocks per block-row, shifting
+    right by ``nu`` blocks every ``mu`` block-rows.
+    """
+    w = np.zeros((plan.n_over, plan.n), dtype=np.complex128)
+    for j in range(plan.m_over):
+        q, r = divmod(j, plan.mu)
+        base = q * plan.nu * plan.p
+        for bi in range(plan.b):
+            cols = (base + bi * plan.p + np.arange(plan.p)) % plan.n
+            w[j * plan.p + np.arange(plan.p), cols] += plan.coeffs[r, bi, :]
+    return w
+
+
+def dense_soi_operator(plan: SoiPlan) -> np.ndarray:
+    """The full dense N-by-N SOI operator (Eq. 6), for comparison to F_N.
+
+    ``(I_P (x) W_hat^-1 P_proj F_M') P_perm^{P,N'} (I_M' (x) F_P) W``.
+    ``|dense_soi_operator(plan) - dft_matrix(N)|`` is bounded by the
+    plan's error budget — the matrix-level statement of the paper's
+    accuracy claim.
+    """
+    w = dense_w_matrix(plan)
+    f_p = dft_matrix(plan.p)
+    stage2 = np.kron(np.eye(plan.m_over), f_p)
+    perm = stride_permutation_matrix(plan.p, plan.n_over)
+    f_mo = dft_matrix(plan.m_over)
+    proj = np.eye(plan.m, plan.m_over)
+    demod_inv = np.diag(1.0 / plan.demod)
+    seg_op = demod_inv @ proj @ f_mo
+    stage4 = np.kron(np.eye(plan.p), seg_op)
+    return stage4 @ perm @ stage2 @ w
+
+
+def exact_compact_w_matrix(n: int, p: int) -> np.ndarray:
+    """``W_exact`` of Section 8: the compact-window (Edelman [14]) instance.
+
+    With ``w_hat = 1`` on ``[0, M-1]`` and zero outside ``(-1, M)``,
+    no oversampling and no truncation, the framework's convolution
+    matrix entries are the closed-form geometric sums
+
+        ``c_jk = (1/M) sum_{l=0}^{M-1} omega^l``,
+        ``omega = exp(i*2*pi*(j/M - k/N))``
+
+    (Section 8).  The rows of ``W_exact`` interleave the ``C_s`` blocks
+    exactly as the truncated construction does: block-row j holds, for
+    p = 0..P-1, the row ``C_0[j, :] * Phi``-phases gathered so that
+    ``(I_M (x) F_P)`` recombines them — equivalently ``W_exact =
+    P_perm^{M,N}-gathered stack``.  Dense and O(N^2); small N only.
+    """
+    n = check_positive_int(n, "n")
+    p = check_positive_int(p, "p")
+    require(n % p == 0, f"p={p} must divide n={n}")
+    m = n // p
+    # c0[j, k] via stable geometric sum.
+    j = np.arange(m)[:, None]
+    k = np.arange(n)[None, :]
+    delta = j / m - k / n  # omega = exp(2i*pi*delta)
+    num = np.exp(2j * np.pi * ((delta * m) % 1.0)) - 1.0
+    den = np.exp(2j * np.pi * (delta % 1.0)) - 1.0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        c0 = np.where(np.abs(den) < 1e-12, m, num / den) / m
+    # Segment matrices C_s = C_0 (I_M (x) diag(omega_P^s)) stacked, then
+    # row-gathered by the stride permutation into W's block structure:
+    # row j*P + s of W corresponds to row j of C_s.
+    omega_p = np.exp(-2j * np.pi * np.arange(p) / p)
+    w = np.zeros((n, n), dtype=np.complex128)
+    for s in range(p):
+        phase = np.tile(omega_p**s, m)  # diag of Phi_s
+        w[s::p, :] = c0 * phase[None, :]
+    # W as defined satisfies (I_M (x) F_P) W == P_perm-gathered stack; the
+    # interleaving above IS that gather: row j*P+s holds segment s's row j.
+    return w
+
+
+def exact_compact_fft(x: np.ndarray, p: int) -> np.ndarray:
+    """Exact F_N x via the Section-8 compact-window factorisation.
+
+    ``y = (I_P (x) F_M) P_perm^{P,N} (I_M (x) F_P') W_exact-stack`` —
+    implemented with the same pipeline shape as :func:`soi_fft` but with
+    the dense per-segment matrix and *no* oversampling, truncation or
+    demodulation.  Exact to rounding; O(N^2) work.  This is the
+    framework's re-derivation of the FMM-based algorithm of [14]
+    (without the FMM acceleration, which is what makes smooth windows
+    attractive).
+    """
+    vec = np.ascontiguousarray(x, dtype=np.complex128)
+    n = vec.size
+    m = n // check_positive_int(p, "p")
+    require(n % p == 0, f"p={p} must divide n={n}")
+    w = exact_compact_w_matrix(n, p)
+    z = (w @ vec).reshape(m, p)
+    # NOTE: rows of z are already per-segment values x~^(s)_j at [j, s]
+    # (the interleaving in exact_compact_w_matrix performed the gather
+    # that (I_M (x) F_P) + P_perm accomplish in the truncated pipeline).
+    segments = np.ascontiguousarray(z.T)
+    y_seg = np.fft.fft(segments, axis=-1)
+    return y_seg.reshape(n)

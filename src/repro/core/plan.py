@@ -1,0 +1,233 @@
+"""SOI transform plans (Sections 4-6 of the paper).
+
+A :class:`SoiPlan` freezes every design decision of one SOI transform:
+
+- problem size ``N = M * P`` (P segments of M output frequencies each);
+- oversampling rate ``beta`` as the exact fraction ``mu/nu - 1``
+  (``beta = 1/4 -> mu, nu = 5, 4``), giving the oversampled segment
+  length ``M' = M * mu / nu`` and total ``N' = N * mu / nu``;
+- the window design (reference window + stencil width B);
+- the precomputed *coefficient tensor* ``C[mu, B, P]`` — the
+  ``mu * P * B`` distinct entries of the convolution matrix W (Fig. 4:
+  "the entire matrix has mu*P*B distinct elements"), and
+- the demodulation diagonal ``w_hat(k), k < M``.
+
+Row structure exploited (Section 4): with ``1/M' = (L/N)(nu/mu)``, row
+``j + mu`` of the convolution matrix is row ``j`` circular-right-shifted
+by ``nu * P`` positions, so rows are generated from ``mu`` templates.
+Rows are grouped in chunks of ``mu`` sharing one aligned input window of
+``B*P`` samples starting at ``q * nu * P`` (the pseudo-code's loop_a /
+loop_b structure in Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from ..utils import as_fraction, check_positive_int, require
+from .design import WindowDesign, design_window, preset_design
+from .windows import ReferenceWindow, window_from_spec
+
+__all__ = ["SoiPlan"]
+
+
+@dataclass
+class SoiPlan:
+    """Plan for an N-point SOI FFT split into P segments.
+
+    Parameters
+    ----------
+    n:
+        Transform size N (the number of input/output points).
+    p:
+        Number of segments (``P``).  In the distributed algorithm P is
+        ``ranks * segments_per_rank`` (the paper runs 8 segments per
+        process); sequentially any P >= 1 works.
+    beta:
+        Oversampling rate; default the paper's 1/4.  Must be rational
+        with a small denominator (``mu/nu = 1 + beta`` drives the
+        integer block structure); ``nu * p`` must divide ``n``.
+    window:
+        One of: a :class:`~repro.core.design.WindowDesign` (fully
+        resolved), a preset name (e.g. ``"full"``, ``"digits10"``), a
+        target-digit float, or a bare :class:`ReferenceWindow` combined
+        with an explicit ``b``.
+    b:
+        Stencil width override; required only with a bare window.
+
+    Notes
+    -----
+    ``b * p`` may exceed ``n`` only in degenerate tiny-N configurations;
+    the plan rejects those (the stencil would wrap onto itself more than
+    once) — the paper's regime is always ``B*P << N``.
+    """
+
+    n: int
+    p: int
+    beta: float | Fraction = Fraction(1, 4)
+    window: "WindowDesign | ReferenceWindow | str | float" = "full"
+    b: int | None = None
+
+    # Derived fields (populated in __post_init__).
+    m: int = field(init=False)
+    mu: int = field(init=False)
+    nu: int = field(init=False)
+    m_over: int = field(init=False)
+    n_over: int = field(init=False)
+    design: WindowDesign | None = field(init=False, default=None)
+    ref_window: ReferenceWindow = field(init=False)
+    coeffs: np.ndarray = field(init=False, repr=False)
+    demod: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.n = check_positive_int(self.n, "n")
+        self.p = check_positive_int(self.p, "p")
+        require(self.n % self.p == 0, f"p={self.p} must divide n={self.n}")
+        self.m = self.n // self.p
+
+        frac = as_fraction(self.beta) + 1
+        self.mu, self.nu = frac.numerator, frac.denominator
+        require(self.mu > self.nu, f"beta must be positive, got {self.beta}")
+        require(
+            self.m % self.nu == 0,
+            f"segment length M={self.m} must be divisible by nu={self.nu} "
+            f"(beta={self.beta}); choose N, P accordingly",
+        )
+        self.m_over = self.m * self.mu // self.nu
+        self.n_over = self.m_over * self.p
+
+        self._resolve_window()
+        require(
+            self.b % 2 == 0 and self.b >= 2,
+            f"stencil width B must be a positive even integer, got {self.b}",
+        )
+        require(
+            self.b >= self.nu,
+            f"B={self.b} must be >= nu={self.nu} so chunks advance within the stencil",
+        )
+        require(
+            self.b * self.p <= self.n,
+            f"stencil B*P={self.b * self.p} exceeds N={self.n}; "
+            f"N is too small for this window (reduce B or P)",
+        )
+        self.coeffs = self._coefficient_tensor()
+        self.demod = self.ref_window.demodulation_values(self.m, self.b)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_window(self) -> None:
+        """Normalise the window argument into (ref_window, b, design?)."""
+        spec = self.window
+        beta_f = float(as_fraction(self.beta))
+        if isinstance(spec, WindowDesign):
+            self.design = spec
+        elif isinstance(spec, str):
+            self.design = preset_design(spec, beta=beta_f)
+        elif isinstance(spec, float) and not isinstance(spec, bool):
+            self.design = design_window(spec, beta=beta_f)
+        elif isinstance(spec, ReferenceWindow):
+            require(
+                self.b is not None,
+                "an explicit b (stencil width) is required with a bare window",
+            )
+            self.ref_window = spec
+            return
+        else:
+            raise TypeError(f"cannot interpret window spec {spec!r}")
+        self.ref_window = self.design.window
+        if self.b is None:
+            self.b = self.design.b
+
+    @property
+    def q_chunks(self) -> int:
+        """Number of mu-row chunks: ``M' / mu = M / nu``."""
+        return self.m // self.nu
+
+    @property
+    def halo(self) -> int:
+        """Forward halo length ``(B - nu) * P`` of the distributed layout.
+
+        The last chunk owned by a rank starts ``nu*P`` before its block
+        end and reads ``B*P`` samples, reaching ``(B-nu)*P`` into the
+        next rank's block (Fig. 4 caption).
+        """
+        return (self.b - self.nu) * self.p
+
+    def _coefficient_tensor(self) -> np.ndarray:
+        """The ``(mu, B, P)`` tensor of distinct convolution coefficients.
+
+        ``C[r, b, p] = (1/M') * w(r/M' - (b*P + p)/N)`` — row template r
+        evaluated over its aligned B*P-sample input window.  Chunk q,
+        row r (global row ``j = q*mu + r``) then reads
+        ``z[j, p] = sum_b C[r, b, p] * x[(q*nu*P + b*P + p) mod N]``;
+        the q-dependence cancels exactly because
+        ``(q*mu)/M' == (q*nu*P)/N``.
+
+        Accuracy note: ``w(t) = M e^{i pi B/2} e^{i pi M t} H(M t + B/2)``
+        has phase arguments up to ~pi*B radians.  Evaluating them
+        naively loses ~eps*B to argument reduction (a hard ~13.5-digit
+        ceiling), so the rational ``M*t = r*nu/mu - b - p/P`` is split
+        into exact sign flips ``(-1)^b``, ``(-1)^{B/2}`` and two small
+        residual phases reduced in integer arithmetic.
+        """
+        mu, nu, b, p = self.mu, self.nu, self.b, self.p
+        r = np.arange(mu, dtype=np.int64)
+        bidx = np.arange(b, dtype=np.int64)
+        pidx = np.arange(p, dtype=np.int64)
+        # s = M*t + B/2 with M*t = r*nu/mu - b - p/P; |s| stays O(B).
+        s = (
+            b / 2.0
+            + (r * nu / mu)[:, None, None]
+            - bidx[None, :, None]
+            - (pidx / p)[None, None, :]
+        )
+        h = self.ref_window.h_time(s)
+        phase_r = np.exp(1j * np.pi * ((r * nu) % (2 * mu)) / mu)
+        sign_b = np.where(bidx % 2 == 0, 1.0, -1.0)
+        phase_p = np.exp(-1j * np.pi * pidx / p)
+        sign_half_b = 1.0 if (b // 2) % 2 == 0 else -1.0
+        c = (
+            (self.m / self.m_over)
+            * sign_half_b
+            * phase_r[:, None, None]
+            * sign_b[None, :, None]
+            * phase_p[None, None, :]
+            * h
+        )
+        return np.ascontiguousarray(c)
+
+    # ------------------------------------------------------------------
+
+    def segment_slice(self, s: int) -> slice:
+        """Output index range of segment *s*: ``[s*M, (s+1)*M)``."""
+        if not 0 <= s < self.p:
+            raise IndexError(f"segment {s} out of range [0, {self.p})")
+        return slice(s * self.m, (s + 1) * self.m)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by examples/benchmarks)."""
+        lines = [
+            f"SOI plan: N={self.n} = M({self.m}) x P({self.p})",
+            f"  oversampling beta={float(as_fraction(self.beta)):.4g} "
+            f"(mu/nu = {self.mu}/{self.nu}), M'={self.m_over}, N'={self.n_over}",
+            f"  stencil B={self.b}, halo=(B-nu)*P={self.halo} samples "
+            f"({100.0 * self.halo / self.n:.4g}% of N)",
+            f"  window: {self.ref_window!r}",
+        ]
+        if self.design is not None:
+            lines.append(
+                f"  design: kappa={self.design.kappa:.3g}, "
+                f"eps_alias={self.design.eps_alias:.2e}, "
+                f"eps_trunc={self.design.eps_trunc:.2e}, "
+                f"~{self.design.predicted_digits:.1f} digits"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SoiPlan(n={self.n}, p={self.p}, beta={self.mu}/{self.nu}-1, "
+            f"b={self.b}, window={self.ref_window!r})"
+        )

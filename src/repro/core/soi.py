@@ -1,0 +1,182 @@
+"""The sequential SOI FFT (Sections 5-6, Eq. 6).
+
+Implements the paper's single-all-to-all factorisation
+
+    ``y ~= (I_P (x) W_hat^-1 P_proj F_M') P_perm^{P,N'} (I_M' (x) F_P) W x``
+
+as a fully vectorised four-stage pipeline:
+
+1. **Convolution** ``z = W x``: a single einsum contracting the
+   ``(mu, B, P)`` coefficient tensor against strided input windows —
+   the loop_a/loop_b/loop_c/loop_d nest of Section 6 collapsed into one
+   batched tensor contraction (the NumPy analogue of the paper's
+   unroll-and-jam + SIMD optimisation).
+2. **Small FFTs** ``(I_M' (x) F_P)``: one batched length-P transform
+   over the M' rows of z.
+3. **Global reordering** ``P_perm^{P,N'}``: a transpose — the step that
+   becomes THE single all-to-all in the distributed version.
+4. **Segment FFTs + demodulation**: P batched length-M' transforms,
+   keep the first M bins of each, divide by ``w_hat(k)``.
+
+The sequential code is the reference the distributed implementation in
+:mod:`repro.parallel.soi_dist` must match bit-for-bit (it performs the
+same floating-point operations, only placed on different ranks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dft.backends import FftBackend, get_backend
+from ..utils import as_complex_vector
+from .plan import SoiPlan
+
+__all__ = [
+    "soi_fft",
+    "soi_ifft",
+    "soi_fft2",
+    "soi_segment",
+    "soi_convolve",
+    "extended_input",
+]
+
+
+def _as_batched(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Coerce input to complex128 with last axis == plan.n."""
+    arr = np.ascontiguousarray(x, dtype=np.complex128)
+    if arr.ndim == 0 or arr.shape[-1] != plan.n:
+        raise ValueError(
+            f"plan is for N={plan.n}, input last axis has "
+            f"{arr.shape[-1] if arr.ndim else 0} points"
+        )
+    return arr
+
+
+def extended_input(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Input extended with its periodic wrap so every stencil is contiguous.
+
+    The last chunk's window reads ``B*P`` samples starting at
+    ``N - nu*P``; appending the first ``B*P`` samples (plan validation
+    guarantees ``B*P <= N``) makes all reads in-bounds.  Batched over
+    leading axes.
+    """
+    arr = _as_batched(x, plan)
+    return np.concatenate([arr, arr[..., : plan.b * plan.p]], axis=-1)
+
+
+def soi_convolve(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Stage 1: the structured sparse product ``z = W x``, shape (..., M', P).
+
+    ``z[q*mu + r, p] = sum_b C[r, b, p] * x[(q*nu*P + b*P + p) mod N]``.
+
+    Implemented as a sliding-window view (zero-copy) over the extended
+    input followed by one einsum; total work ``8 * N' * B`` real flops
+    per transform, exactly the convolution cost the performance model
+    charges.  Batched over leading axes.
+    """
+    xe = extended_input(x, plan)
+    stride = plan.nu * plan.p
+    win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p, axis=-1)[
+        ..., ::stride, :
+    ][..., : plan.q_chunks, :]
+    # win[..., q, :] = xe[..., q*nu*P : q*nu*P + B*P]; expose (b, p).
+    batch = xe.shape[:-1]
+    winb = win.reshape(*batch, plan.q_chunks, plan.b, plan.p)
+    z = np.einsum("rbp,...qbp->...qrp", plan.coeffs, winb, optimize=True)
+    return z.reshape(*batch, plan.m_over, plan.p)
+
+
+def soi_fft(
+    x: np.ndarray,
+    plan: SoiPlan,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """Full in-order N-point SOI FFT (sequential reference).
+
+    Returns an approximation of ``numpy.fft.fft(x, axis=-1)`` whose
+    accuracy is set by the plan's window design (~14.5 digits for the
+    default ``"full"`` preset; see Fig. 7 for the accuracy/speed dial).
+    Accepts batches over leading axes.
+
+    The *backend* names the node-local FFT used as the building block
+    (``"numpy"`` standing in for MKL, ``"repro"`` for this library's
+    own kernels) — the algorithm is backend-agnostic, as in the paper.
+    """
+    be = get_backend(backend)
+    arr = _as_batched(x, plan)
+    batch = arr.shape[:-1]
+    z = soi_convolve(arr, plan)                     # (..., M', P)
+    v = be.fft(z)                                   # I_M' (x) F_P
+    segments = np.ascontiguousarray(np.swapaxes(v, -1, -2))  # P_perm^{P,N'}
+    yt = be.fft(segments)                           # I_P (x) F_M'
+    y = yt[..., : plan.m] / plan.demod              # P_proj + W_hat^-1
+    return y.reshape(*batch, plan.n)
+
+
+def soi_ifft(
+    y: np.ndarray,
+    plan: SoiPlan,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """Inverse SOI transform: approximates ``numpy.fft.ifft``.
+
+    Uses the conjugation identity ``ifft(y) = conj(fft(conj(y))) / N``,
+    so the inverse inherits the forward transform's communication
+    structure and accuracy unchanged.
+    """
+    arr = _as_batched(y, plan)
+    return np.conj(soi_fft(np.conj(arr), plan, backend=backend)) / plan.n
+
+
+def soi_fft2(
+    x: np.ndarray,
+    plan_rows: SoiPlan,
+    plan_cols: SoiPlan | None = None,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """2-D SOI FFT (the paper's 'generalize to higher dimensions' item).
+
+    Applies the 1-D SOI transform along the last axis with *plan_rows*,
+    then along the first axis with *plan_cols* (defaults to plan_rows —
+    square inputs).  Approximates ``numpy.fft.fft2`` with the combined
+    window error of the two passes.  Input shape must be
+    ``(plan_cols.n, plan_rows.n)``.
+    """
+    pc = plan_cols if plan_cols is not None else plan_rows
+    arr = np.ascontiguousarray(x, dtype=np.complex128)
+    if arr.ndim != 2 or arr.shape != (pc.n, plan_rows.n):
+        raise ValueError(
+            f"expected shape ({pc.n}, {plan_rows.n}), got {arr.shape}"
+        )
+    rows = soi_fft(arr, plan_rows, backend=backend)
+    cols = soi_fft(np.ascontiguousarray(rows.T), pc, backend=backend)
+    return np.ascontiguousarray(cols.T)
+
+
+def soi_segment(
+    x: np.ndarray,
+    plan: SoiPlan,
+    s: int,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """Compute only segment *s*: ``y[s*M : (s+1)*M]`` (Section 5).
+
+    Uses the phase-shift identity ``y^(s) = first segment of
+    F_N(Phi_s x)`` with ``Phi_s = I_M (x) diag(omega^s)``,
+    ``omega = exp(-2*pi*i/P)``: after modulation, segment 0 of the
+    pipeline is a plain sum over the P-axis of z (the s=0 DFT bin), so
+    one segment costs only the convolution plus ONE length-M' FFT —
+    this is the "direct pursuit of a segment of interest" of Fig. 1.
+    """
+    if not 0 <= s < plan.p:
+        raise IndexError(f"segment {s} out of range [0, {plan.p})")
+    be = get_backend(backend)
+    vec = as_complex_vector(x)
+    if vec.size != plan.n:
+        raise ValueError(f"plan is for N={plan.n}, input has {vec.size} points")
+    phase = np.exp(-2j * np.pi * s * np.arange(plan.p) / plan.p)
+    modulated = vec * np.tile(phase, plan.m)
+    z = soi_convolve(modulated, plan)
+    x_tilde = z.sum(axis=1)          # DFT bin 0 across the P-axis
+    yt = be.fft(x_tilde)
+    return yt[: plan.m] / plan.demod

@@ -1,0 +1,141 @@
+"""Definition 1 operators and the hybrid convolution theorem (Section 3).
+
+These are the *mathematical* objects of the paper, implemented directly
+from their definitions so that the production plan/kernel code in
+:mod:`repro.core.plan` and :mod:`repro.core.soi` can be validated
+against them:
+
+- :func:`convolve_window` — ``(x * w)(t)``, a finite vector convolved
+  with a continuous window function (Definition 1(2));
+- :func:`sample` — ``Samp(f; 1/M)`` (Definition 1(3));
+- :func:`modulate` — ``y . w_hat`` pointwise modulation of a periodic
+  sequence by a window (Definition 1(4));
+- :func:`periodize` — ``Peri(z; M)`` shift-and-add (Definition 1(5));
+- :func:`hybrid_convolution_lhs` / :func:`hybrid_convolution_rhs` — the
+  two sides of Theorem 1,
+  ``F_M [ (1/M) Samp(x*w; 1/M) ] = Peri(y . w_hat; M)``.
+
+Everything here is O(N*M) or worse and exists for correctness, not
+speed; the fast structured path lives in :mod:`repro.core.soi`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dft.naive import dft
+from ..utils import as_complex_vector, check_positive_int
+from .windows import ReferenceWindow
+
+__all__ = [
+    "convolve_window",
+    "sample",
+    "modulate",
+    "periodize",
+    "hybrid_convolution_lhs",
+    "hybrid_convolution_rhs",
+]
+
+
+def _window_support_range(window: ReferenceWindow, m: int, b: int, n: int, t: float) -> range:
+    """Indices ell with ``w(t - ell/N)`` non-negligible.
+
+    The size-specific window ``w`` has support essentially
+    ``t' in [-B/M, 0]``; we take a factor-2 safety margin so the
+    reference computation is *more* accurate than the production
+    stencil, never less.
+    """
+    lo = int(np.floor((t - 0.5) * n)) - b * (n // m)
+    hi = int(np.ceil((t + 0.5) * n)) + b * (n // m)
+    return range(lo, hi + 1)
+
+
+def convolve_window(
+    x: np.ndarray,
+    window: ReferenceWindow,
+    m: int,
+    b: int,
+    t: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``(x * w)(t)`` (Definition 1(2)) at the points *t*.
+
+    ``(x * w)(t) = sum_ell w(t - ell/N) x_{ell mod N}`` where ``w`` is
+    the size-specific window for segment length *m* and stencil *b*
+    (:meth:`ReferenceWindow.w_time`).  Direct summation over the
+    (safety-margined) support.
+    """
+    vec = as_complex_vector(x)
+    n = vec.size
+    t = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    out = np.empty(t.shape, dtype=np.complex128)
+    for i, ti in enumerate(t):
+        ells = np.array(_window_support_range(window, m, b, n, float(ti)))
+        wvals = window.w_time(ti - ells / n, m, b)
+        out[i] = np.sum(wvals * vec[ells % n])
+    return out
+
+
+def sample(f, m: int) -> np.ndarray:
+    """``Samp(f; 1/M)``: the vector ``[f(0), f(1/M), ..., f(1 - 1/M)]``.
+
+    *f* is any callable accepting a float array of points in [0, 1).
+    """
+    m = check_positive_int(m, "m")
+    pts = np.arange(m) / m
+    return np.asarray(f(pts), dtype=np.complex128)
+
+
+def modulate(y: np.ndarray, window: ReferenceWindow, m: int, b: int, k: np.ndarray) -> np.ndarray:
+    """``(y . w_hat)_k = y_{k mod N} * w_hat(k)`` (Definition 1(4)).
+
+    Evaluates the modulated infinite sequence at the integer indices *k*
+    (which may be negative or exceed N-1; y is treated as N-periodic).
+    """
+    vec = as_complex_vector(y)
+    n = vec.size
+    kk = np.atleast_1d(np.asarray(k))
+    phase = np.exp(1j * np.pi * b * kk / m)
+    return vec[np.mod(kk, n)] * phase * window.h_hat((kk - m / 2.0) / m)
+
+
+def periodize(z_eval, m: int, support: range) -> np.ndarray:
+    """``Peri(z; M)`` (Definition 1(5)) for a sequence given as a callable.
+
+    *z_eval* maps an integer index array to sequence values; *support*
+    is an index range outside which the sequence is negligible.  Returns
+    the M-vector ``z'_k = sum_j z_{k + j M}`` for ``k = 0..M-1``.
+    """
+    m = check_positive_int(m, "m")
+    idx = np.array(support)
+    vals = np.asarray(z_eval(idx), dtype=np.complex128)
+    out = np.zeros(m, dtype=np.complex128)
+    np.add.at(out, np.mod(idx, m), vals)
+    return out
+
+
+def hybrid_convolution_lhs(
+    x: np.ndarray, window: ReferenceWindow, m: int, b: int, m_sample: int
+) -> np.ndarray:
+    """Left side of Theorem 1: ``F_M' [ (1/M') Samp(x*w; 1/M') ]``.
+
+    *m* parameterises the window (segment length); *m_sample* is the
+    sampling/periodisation length M' (they coincide in the theorem's
+    statement; the SOI algorithm uses m_sample = M' > M).
+    """
+    vec = as_complex_vector(x)
+    xt = sample(lambda t: convolve_window(vec, window, m, b, t), m_sample) / m_sample
+    return dft(xt)
+
+
+def hybrid_convolution_rhs(
+    x: np.ndarray, window: ReferenceWindow, m: int, b: int, m_sample: int
+) -> np.ndarray:
+    """Right side of Theorem 1: ``Peri(y . w_hat; M')`` with ``y = F_N x``.
+
+    The modulated sequence decays like ``H_hat`` away from the segment
+    ``[0, M)``; summing over ``[-4M', M + 4M']`` captures it to double
+    precision for every window this library designs.
+    """
+    y = dft(as_complex_vector(x))
+    support = range(-4 * m_sample, m + 4 * m_sample + 1)
+    return periodize(lambda k: modulate(y, window, m, b, k), m_sample, support)

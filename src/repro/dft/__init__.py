@@ -1,0 +1,55 @@
+"""Node-local FFT library (the substrate the paper fills with Intel MKL).
+
+The SOI algorithm (and the triple-transpose baseline) treat the
+node-local FFT as a black-box building block.  This package provides a
+complete, self-contained implementation:
+
+- :func:`~repro.dft.naive.dft` / :func:`~repro.dft.naive.idft` — the
+  O(N^2) reference transform used as ground truth in tests.
+- :func:`~repro.dft.radix2.fft_radix2` — iterative, in-order
+  (bit-reversal + butterflies) power-of-two FFT, fully vectorised across
+  butterfly groups and across batches.
+- :func:`~repro.dft.mixed_radix.fft_mixed_radix` — recursive
+  Cooley–Tukey for arbitrary smooth sizes.
+- :func:`~repro.dft.bluestein.fft_bluestein` — chirp-z algorithm for
+  arbitrary (including prime) sizes via power-of-two convolution.
+- :func:`~repro.dft.real.rfft` / :func:`~repro.dft.real.irfft` — real
+  input transforms via the half-size complex trick.
+- :class:`~repro.dft.plan.FftPlan` — size-dispatching plan with twiddle
+  caching, batched execution, and flop accounting.
+- :mod:`~repro.dft.backends` — registry so every higher-level algorithm
+  can run on either this library or ``numpy.fft`` interchangeably.
+
+All transforms follow the NumPy sign convention: forward kernel
+``exp(-2*pi*i*j*k/N)``, inverse scaled by ``1/N``.
+"""
+
+from .naive import dft, idft, dft_matrix
+from .radix2 import fft_radix2, ifft_radix2
+from .mixed_radix import fft_mixed_radix
+from .bluestein import fft_bluestein
+from .real import rfft, irfft
+from .plan import FftPlan, fft, ifft
+from .backends import FftBackend, get_backend, register_backend, available_backends
+from .flops import fft_flops, fft_gflops_rate
+
+__all__ = [
+    "dft",
+    "idft",
+    "dft_matrix",
+    "fft_radix2",
+    "ifft_radix2",
+    "fft_mixed_radix",
+    "fft_bluestein",
+    "rfft",
+    "irfft",
+    "FftPlan",
+    "fft",
+    "ifft",
+    "FftBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "fft_flops",
+    "fft_gflops_rate",
+]

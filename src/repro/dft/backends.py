@@ -1,0 +1,88 @@
+"""Pluggable node-local FFT backends.
+
+The paper's implementation uses Intel MKL FFTs "as building blocks"
+(Fig. 2) but nothing in the SOI framework depends on which local FFT is
+used.  We mirror that by routing every local transform in
+:mod:`repro.core` and :mod:`repro.parallel` through a named backend:
+
+- ``"repro"`` — this library's own kernels (:mod:`repro.dft`), the
+  default, standing in for a vendor library built from scratch;
+- ``"numpy"`` — ``numpy.fft`` (pocketfft), standing in for MKL/FFTW as
+  an independent high-quality implementation.
+
+Tests run the full pipeline under both backends; agreement between them
+is itself a strong correctness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .plan import FftPlan
+
+__all__ = ["FftBackend", "register_backend", "get_backend", "available_backends"]
+
+
+@dataclass(frozen=True)
+class FftBackend:
+    """A pair of batched forward/inverse FFT callables over the last axis.
+
+    Both callables must follow NumPy conventions (forward unscaled,
+    inverse scaled by 1/n) and accept arbitrary batch shapes.
+    """
+
+    name: str
+    fft: Callable[[np.ndarray], np.ndarray]
+    ifft: Callable[[np.ndarray], np.ndarray]
+
+
+_registry: dict[str, FftBackend] = {}
+
+
+def register_backend(backend: FftBackend, overwrite: bool = False) -> None:
+    """Register *backend* under ``backend.name``.
+
+    Third-party code can hook in an accelerated implementation (the way
+    the paper hooks in MKL) without touching the algorithm code.
+    """
+    if not overwrite and backend.name in _registry:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _registry[backend.name] = backend
+
+
+def get_backend(name: str | FftBackend = "repro") -> FftBackend:
+    """Look up a backend by name (or pass an :class:`FftBackend` through)."""
+    if isinstance(name, FftBackend):
+        return name
+    try:
+        return _registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown FFT backend {name!r}; available: {sorted(_registry)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_registry)
+
+
+def _repro_fft(x: np.ndarray) -> np.ndarray:
+    return FftPlan(np.asarray(x).shape[-1]).execute(x, inverse=False)
+
+
+def _repro_ifft(y: np.ndarray) -> np.ndarray:
+    return FftPlan(np.asarray(y).shape[-1]).execute(y, inverse=True)
+
+
+register_backend(FftBackend("repro", _repro_fft, _repro_ifft))
+register_backend(
+    FftBackend(
+        "numpy",
+        lambda x: np.fft.fft(np.asarray(x, dtype=np.complex128), axis=-1),
+        lambda y: np.fft.ifft(np.asarray(y, dtype=np.complex128), axis=-1),
+    )
+)

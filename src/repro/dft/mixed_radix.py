@@ -1,0 +1,80 @@
+"""Mixed-radix (Cooley–Tukey) FFT for arbitrary composite sizes.
+
+The SOI oversampling step turns a power-of-two segment length ``M`` into
+``M' = M * mu / nu`` (``5*M/4`` for the paper's favourite ``beta=1/4``),
+so the node-local FFT must handle sizes of the form ``odd * 2^a``.  This
+driver peels one prime factor ``p`` per level:
+
+    ``X[k1 + p*k2] = sum_j2 w_n^(j2*k1) * W_q[k2, j2] *
+                     ( sum_j1 x[q*j1 + j2] * W_p[k1, j1] )``
+
+The length-``p`` inner transforms are dense matrix products (``p`` is a
+small prime), the length-``q`` outer transform recurses, and pure
+power-of-two remainders drop into the radix-2 kernel.  Sizes with a
+large prime factor are delegated to Bluestein's algorithm.
+
+Everything is batched over leading axes; the Python-level work per call
+is O(number of distinct prime factors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import factorize, is_power_of_two
+from .naive import dft_matrix
+from .radix2 import _radix2_core
+from .twiddle import twiddles
+
+__all__ = ["fft_mixed_radix"]
+
+# Above this prime factor a dense per-factor matrix product stops being
+# cheap; Bluestein (O(n log n) via padded convolution) takes over.
+_MAX_DENSE_PRIME = 61
+
+
+def _fft_any(x: np.ndarray, sign: int) -> np.ndarray:
+    """Forward (sign=-1) or inverse-unscaled (sign=+1) FFT, any size."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    if is_power_of_two(n):
+        return _radix2_core(x, sign)
+    p = factorize(n)[-1]  # largest prime factor first -> pow2 tail stays intact
+    if p > _MAX_DENSE_PRIME:
+        from .bluestein import _bluestein_core  # local import avoids a cycle
+
+        return _bluestein_core(x, sign)
+    q = n // p
+    batch = x.shape[:-1]
+    # x[.., q*j1 + j2] -> axes (j1 in [0,p), j2 in [0,q))
+    a = x.reshape(*batch, p, q)
+    # Inner DFT_p over j1 (dense, p is a small prime).
+    fp = dft_matrix(p) if sign == -1 else dft_matrix(p, inverse=True)
+    b = np.einsum("kj,...jq->...kq", fp, a)
+    # Twiddle: multiply entry (k1, j2) by w_n^(sign * k1 * j2).
+    w = twiddles(n, sign)
+    k1 = np.arange(p)[:, None]
+    j2 = np.arange(q)[None, :]
+    b *= w[(k1 * j2) % n]
+    # Outer DFT_q over j2 (recurse; j2 is already the last axis).
+    c = _fft_any(np.ascontiguousarray(b), sign)
+    # Output index k1 + p*k2: swap (k1, k2) axes then flatten.
+    return np.ascontiguousarray(c.swapaxes(-1, -2)).reshape(*batch, n)
+
+
+def fft_mixed_radix(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """FFT over the last axis for arbitrary length.
+
+    Matches ``numpy.fft`` conventions: forward unscaled, inverse scaled
+    by ``1/n``.  Dispatches internally to radix-2 / dense-prime /
+    Bluestein sub-kernels as the factorisation demands.
+    """
+    arr = np.ascontiguousarray(x, dtype=np.complex128)
+    n = arr.shape[-1]
+    if n == 0:
+        raise ValueError("transform length must be positive")
+    out = _fft_any(arr, sign=+1 if inverse else -1)
+    if inverse:
+        out = out / n
+    return out

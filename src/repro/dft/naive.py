@@ -1,0 +1,48 @@
+"""Naive O(N^2) DFT — the correctness oracle.
+
+Everything else in the library is ultimately validated against these
+direct-summation transforms (which are themselves validated against the
+analytic DFT of known signals).  They are intentionally simple: a single
+matrix product against the DFT matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_complex_vector, check_positive_int
+
+__all__ = ["dft_matrix", "dft", "idft"]
+
+
+def dft_matrix(n: int, inverse: bool = False) -> np.ndarray:
+    """The dense N-by-N DFT matrix ``F_N`` (or its unscaled inverse).
+
+    ``F_N[k, j] = exp(-2*pi*i*j*k/n)``; the inverse flag flips the sign
+    of the exponent but does *not* apply the ``1/n`` scale (so that
+    ``dft_matrix(n) @ dft_matrix(n, inverse=True) == n * I``).
+
+    The SOI factorisation proofs in :mod:`repro.core.matrices` assemble
+    their dense reference factorisations out of this matrix.
+    """
+    n = check_positive_int(n, "n")
+    sign = 1.0 if inverse else -1.0
+    j = np.arange(n)
+    # Outer product of indices, kept in float64 before the complex exp.
+    return np.exp(sign * 2j * np.pi * np.outer(j, j) / n)
+
+
+def dft(x: np.ndarray) -> np.ndarray:
+    """Direct-summation forward DFT of a 1-D vector.
+
+    O(N^2); use only for reference/testing.  Matches ``numpy.fft.fft``
+    to rounding error.
+    """
+    vec = as_complex_vector(x)
+    return dft_matrix(vec.size) @ vec
+
+
+def idft(y: np.ndarray) -> np.ndarray:
+    """Direct-summation inverse DFT (scaled by 1/N) of a 1-D vector."""
+    vec = as_complex_vector(y)
+    return (dft_matrix(vec.size, inverse=True) @ vec) / vec.size

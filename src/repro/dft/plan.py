@@ -1,0 +1,109 @@
+"""Transform plans: size-dispatching FFT execution objects.
+
+A :class:`FftPlan` mirrors how production FFT libraries (FFTW, MKL —
+the substrates in the paper's Fig. 2) are used: create a plan for a
+size once, execute it many times, possibly over batches.  The plan
+pre-selects the kernel (radix-2 / mixed-radix / Bluestein), pre-warms
+the twiddle caches, and keeps an execution counter used by the flop
+accounting in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils import check_positive_int, factorize, is_power_of_two
+from .bluestein import fft_bluestein
+from .flops import fft_flops
+from .mixed_radix import fft_mixed_radix, _MAX_DENSE_PRIME
+from .radix2 import fft_radix2, ifft_radix2
+from .twiddle import twiddles
+
+__all__ = ["FftPlan", "fft", "ifft"]
+
+
+@dataclass
+class FftPlan:
+    """Reusable plan for forward/inverse FFTs of one fixed length.
+
+    Parameters
+    ----------
+    n:
+        Transform length (any positive integer).
+    inverse:
+        Default direction of :meth:`execute`; either direction can be
+        requested explicitly per call.
+
+    Attributes
+    ----------
+    kernel:
+        Which kernel the size dispatched to: ``"radix2"``,
+        ``"mixed_radix"`` or ``"bluestein"``.
+    executions:
+        Number of transforms executed through this plan (batch entries
+        count individually), for flop accounting.
+    """
+
+    n: int
+    inverse: bool = False
+    kernel: str = field(init=False)
+    executions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.n = check_positive_int(self.n, "n")
+        if self.n == 1 or is_power_of_two(self.n):
+            self.kernel = "radix2"
+        elif max(factorize(self.n)) <= _MAX_DENSE_PRIME:
+            self.kernel = "mixed_radix"
+        else:
+            self.kernel = "bluestein"
+        # Warm the twiddle cache so the first execute() is not an outlier
+        # in timing loops (plans in FFTW/MKL do the same).
+        if self.n > 1:
+            twiddles(self.n, -1)
+            twiddles(self.n, +1)
+
+    def execute(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
+        """Transform *x* over its last axis; length must equal ``self.n``.
+
+        Returns a new array; the input is never modified.
+        """
+        arr = np.asarray(x)
+        if arr.shape[-1] != self.n:
+            raise ValueError(
+                f"plan is for length {self.n}, input last axis is {arr.shape[-1]}"
+            )
+        inv = self.inverse if inverse is None else inverse
+        if self.kernel == "radix2":
+            out = ifft_radix2(arr) if inv else fft_radix2(arr)
+        elif self.kernel == "mixed_radix":
+            out = fft_mixed_radix(arr, inverse=inv)
+        else:
+            out = fft_bluestein(arr, inverse=inv)
+        self.executions += int(np.prod(arr.shape[:-1], dtype=np.int64)) or 1
+        return out
+
+    def __call__(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
+        return self.execute(x, inverse=inverse)
+
+    @property
+    def flops_per_execution(self) -> float:
+        """Nominal ``5 n log2 n`` flops of one transform through this plan."""
+        return fft_flops(self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FftPlan(n={self.n}, kernel={self.kernel!r}, executions={self.executions})"
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """One-shot forward FFT over the last axis (any length)."""
+    arr = np.asarray(x)
+    return FftPlan(arr.shape[-1]).execute(arr, inverse=False)
+
+
+def ifft(y: np.ndarray) -> np.ndarray:
+    """One-shot inverse FFT over the last axis (any length)."""
+    arr = np.asarray(y)
+    return FftPlan(arr.shape[-1]).execute(arr, inverse=True)

@@ -1,0 +1,26 @@
+"""Nonuniform FFTs, rederived from the paper's convolution framework.
+
+The paper's conclusion observes that its general convolution theorem
+(sampling = multiplication by a Dirac comb, periodisation = convolution
+with one) rederives "a large body of the work generally known as
+nonuniform FFTs" [12, 13, 15, 29].  This package makes that concrete:
+the classic gridding NUFFT *is* the SOI pipeline with the segment
+structure removed —
+
+    spread with w  ->  FFT  ->  demodulate by 1/w_hat
+
+and it reuses the exact same window machinery (:mod:`repro.core.windows`),
+including the designed (tau, sigma) presets and the alias condition
+``half-band * oversampling >= 1/2 + beta``.
+
+- :func:`nufft1` — nonuniform-to-uniform ("type 1"): Fourier
+  coefficients of scattered point masses;
+- :func:`nufft2` — uniform-to-nonuniform ("type 2"): evaluate a Fourier
+  series at scattered points;
+- :func:`nudft1` / :func:`nudft2` — O(N*K) direct references.
+"""
+
+from .plan import NufftPlan
+from .transforms import nudft1, nudft2, nufft1, nufft2
+
+__all__ = ["NufftPlan", "nufft1", "nufft2", "nudft1", "nudft2"]

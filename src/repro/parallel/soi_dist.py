@@ -1,0 +1,148 @@
+"""Distributed SOI FFT — the paper's single-all-to-all algorithm (Fig. 2).
+
+Data layout (R ranks, P = R * S segments, S = segments per rank; the
+paper runs S = 8):
+
+- input: rank i owns the contiguous block ``x[i*N/R : (i+1)*N/R]``
+  (``N/R = M*S`` samples);
+- output: rank i owns ``y`` over the same index range — in-order.
+
+Pipeline per rank (communication phases labelled for the traffic stats):
+
+1. ``halo``       — receive ``(B - nu) * P`` samples from the next rank
+                    (wrapping), the only neighbour traffic; the paper
+                    notes this is "typically less than 0.01% of M".
+2. ``convolve``   — the structured W x product on local chunks,
+                    producing the rank's M'/R block-rows of z.
+3. ``fft-p``      — batched length-P FFTs (``I_M' (x) F_P``), local.
+4. ``alltoall``   — THE one global exchange (``P_perm^{P,N'}``): rank i
+                    sends its rows' columns ``d*S:(d+1)*S`` to rank d.
+                    Every pair exchanges ``(M'/R) * S`` points; total
+                    volume N' = (1+beta) N points.
+5. ``fft-m``      — S batched length-M' FFTs + demodulation, local.
+
+The floating-point operations are identical to the sequential
+:func:`repro.core.soi.soi_fft` — tests assert bit-for-bit equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.plan import SoiPlan
+from ..dft.backends import FftBackend, get_backend
+from ..simmpi.comm import Communicator
+from ..utils import require
+
+__all__ = ["soi_fft_distributed", "soi_ifft_distributed", "soi_rank_layout"]
+
+
+def soi_rank_layout(plan: SoiPlan, nranks: int) -> dict[str, int]:
+    """Validate and describe the per-rank decomposition of *plan*.
+
+    Returns the derived sizes; raises if the plan cannot be laid out on
+    *nranks* ranks (the constraints mirror Section 6: whole chunks and
+    whole segments per rank).
+    """
+    require(plan.p % nranks == 0, f"ranks={nranks} must divide P={plan.p}")
+    segments_per_rank = plan.p // nranks
+    block = plan.n // nranks
+    stride = plan.nu * plan.p
+    require(
+        block % stride == 0,
+        f"per-rank block {block} must be a multiple of nu*P={stride} "
+        f"(whole convolution chunks per rank)",
+    )
+    require(
+        plan.halo <= block,
+        f"halo {plan.halo} exceeds the per-rank block {block}; "
+        f"N is too small for this (B, P, ranks) combination",
+    )
+    return {
+        "nranks": nranks,
+        "segments_per_rank": segments_per_rank,
+        "block": block,
+        "chunks_per_rank": block // stride,
+        "rows_per_rank": plan.m_over // nranks,
+        "halo": plan.halo,
+    }
+
+
+def soi_fft_distributed(
+    comm: Communicator,
+    x_local: np.ndarray,
+    plan: SoiPlan,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """SPMD SOI FFT: each rank passes its block, receives its output block.
+
+    Must be called collectively by all ranks of *comm* with a plan whose
+    ``p`` is a multiple of ``comm.size``.
+    """
+    be = get_backend(backend)
+    layout = soi_rank_layout(plan, comm.size)
+    block = layout["block"]
+    s_per = layout["segments_per_rank"]
+    vec = np.ascontiguousarray(x_local, dtype=np.complex128)
+    require(
+        vec.shape == (block,),
+        f"rank {comm.rank}: expected local block of {block} samples, got {vec.shape}",
+    )
+
+    # -- 1. halo: the forward-neighbour samples the last chunks read. ----
+    with comm.phase("halo"):
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        if comm.size == 1:
+            halo = vec[: plan.halo].copy()
+        else:
+            halo = comm.sendrecv(vec[: plan.halo].copy(), dest=left, source=right)
+    xe = np.concatenate([vec, halo])
+
+    # -- 2. convolution: this rank's block-rows of z = W x. --------------
+    stride = plan.nu * plan.p
+    q_local = layout["chunks_per_rank"]
+    win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p)[::stride][
+        :q_local
+    ]
+    winb = win.reshape(q_local, plan.b, plan.p)
+    z = np.einsum("rbp,qbp->qrp", plan.coeffs, winb, optimize=True)
+    z = z.reshape(layout["rows_per_rank"], plan.p)
+
+    # -- 3. small local FFTs: (I_M' (x) F_P) on local rows. ---------------
+    v = be.fft(z)
+
+    # -- 4. THE all-to-all: deliver segment columns to their owners. ------
+    with comm.phase("alltoall"):
+        sendbufs = [
+            np.ascontiguousarray(v[:, d * s_per : (d + 1) * s_per])
+            for d in range(comm.size)
+        ]
+        pieces = comm.alltoall(sendbufs)
+    # pieces[src] holds rows [src*rows_per_rank, ...) for my segments.
+    x_tilde = np.concatenate(pieces, axis=0)  # (M', S), column s' = segment
+
+    # -- 5. segment FFTs + demodulation (in-order output). ----------------
+    segs = np.ascontiguousarray(x_tilde.T)  # (S, M')
+    yt = be.fft(segs)
+    y_local = yt[:, : plan.m] / plan.demod[None, :]
+    return y_local.reshape(block)
+
+
+def soi_ifft_distributed(
+    comm: Communicator,
+    y_local: np.ndarray,
+    plan: SoiPlan,
+    backend: str | FftBackend = "numpy",
+) -> np.ndarray:
+    """Distributed inverse SOI transform (approximates ``ifft``).
+
+    Conjugation identity ``ifft(y) = conj(fft(conj(y))) / N`` — because
+    the conjugation is elementwise and local, the inverse has exactly
+    the same single-all-to-all communication structure as the forward
+    transform.  Collective; block layout identical to
+    :func:`soi_fft_distributed`.
+    """
+    vec = np.ascontiguousarray(y_local, dtype=np.complex128)
+    forward = soi_fft_distributed(comm, np.conj(vec), plan, backend=backend)
+    return np.conj(forward) / plan.n

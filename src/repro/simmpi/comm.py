@@ -1,0 +1,257 @@
+"""The simulated communicator: mpi4py-flavoured message passing on threads.
+
+Each rank runs in its own thread; messages travel through per-channel
+queues.  The API follows mpi4py's lower-case object interface (the
+style the hpc-parallel guides teach) restricted to what the FFT
+algorithms need: point-to-point ``send``/``recv``/``sendrecv``, and the
+collectives ``barrier``, ``bcast``, ``gather``, ``allgather``,
+``scatter``, ``alltoall``, ``reduce``, ``allreduce``.
+
+Every transfer is recorded in the shared :class:`TrafficStats`; NumPy
+payloads are counted by ``nbytes`` (they are handed over zero-copy —
+the *simulation* moves references, the *accounting* moves bytes).
+Receives carry a timeout so mismatched communication surfaces as a
+:class:`DeadlockError` instead of a hung test run.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import DeadlockError, SimMpiError
+from .stats import TrafficStats
+
+__all__ = ["World", "Communicator"]
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Accounted size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(o) for o in obj)
+    if isinstance(obj, (int, float, complex, bool)) or obj is None:
+        return 16
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(k) + _payload_bytes(v) for k, v in obj.items())
+    return 64  # conservative default for small control objects
+
+
+class World:
+    """Shared state of one SPMD execution: channels, barrier, stats.
+
+    Created by :func:`repro.simmpi.runtime.run_spmd`; user code only
+    sees per-rank :class:`Communicator` views.
+    """
+
+    def __init__(self, nranks: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.timeout = timeout
+        self.stats = TrafficStats()
+        self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
+        self._channels_lock = threading.Lock()
+        self._barrier = threading.Barrier(nranks)
+        self.abort_event = threading.Event()
+        # Optional fault hook: (src, dst, tag, payload) -> payload.
+        self.fault_hook: Callable[[int, int, int, Any], Any] | None = None
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+        key = (src, dst, tag)
+        with self._channels_lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = self._channels[key] = queue.SimpleQueue()
+            return ch
+
+    def check_abort(self) -> None:
+        if self.abort_event.is_set():
+            raise SimMpiError("aborted: another rank failed")
+
+    def comm(self, rank: int) -> "Communicator":
+        return Communicator(self, rank)
+
+
+class Communicator:
+    """Rank-local view of a :class:`World` (the ``comm`` of SPMD code)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        if not 0 <= rank < world.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {world.nranks})")
+        self.world = world
+        self.rank = rank
+        self._phase = "default"
+
+    # ---- introspection ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.world.nranks
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.world.stats
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Label all traffic inside the block (nested labels restore)."""
+        prev, self._phase = self._phase, name
+        try:
+            yield
+        finally:
+            self._phase = prev
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
+
+    # ---- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send *obj* to rank *dest* (non-blocking: channels are unbounded)."""
+        self._check_peer(dest, "destination")
+        self.world.check_abort()
+        payload = obj
+        if self.world.fault_hook is not None:
+            payload = self.world.fault_hook(self.rank, dest, tag, payload)
+        self.stats.record_message(self._phase, self.rank, dest, _payload_bytes(payload))
+        self.world.channel(self.rank, dest, tag).put(payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from rank *source* (timeout -> DeadlockError)."""
+        self._check_peer(source, "source")
+        ch = self.world.channel(source, self.rank, tag)
+        deadline = self.world.timeout
+        # Poll in short slices so an abort on another rank unblocks us.
+        waited = 0.0
+        slice_s = 0.05
+        while True:
+            self.world.check_abort()
+            try:
+                return ch.get(timeout=slice_s)
+            except queue.Empty:
+                waited += slice_s
+                if waited >= deadline:
+                    raise DeadlockError(
+                        f"rank {self.rank} timed out receiving from {source} "
+                        f"(tag={tag}) after {deadline}s"
+                    ) from None
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send+receive (safe against head-of-line blocking)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # ---- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self.world.check_abort()
+        try:
+            self.world._barrier.wait(timeout=self.world.timeout)
+        except threading.BrokenBarrierError:
+            self.world.check_abort()
+            raise DeadlockError(f"rank {self.rank}: barrier broken/timed out") from None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast from *root*; every rank returns the payload."""
+        self._check_peer(root, "root")
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank to *root* (None elsewhere)."""
+        self._check_peer(root, "root")
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-2)
+            return out
+        self.send(obj, root, tag=-2)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every rank receives the list of every rank's object."""
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send(obj, dst, tag=-3)
+        out = [None] * self.size
+        out[self.rank] = obj
+        for src in range(self.size):
+            if src != self.rank:
+                out[src] = self.recv(src, tag=-3)
+        return out
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root distributes ``objs[i]`` to rank i; returns the local item."""
+        self._check_peer(root, "root")
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} items at root")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst, tag=-4)
+            return objs[root]
+        return self.recv(root, tag=-4)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all: send ``objs[d]`` to rank d, get one each.
+
+        This is THE global transpose primitive of both FFT algorithms
+        (Fig. 3: local permutation followed by the MPI all-to-all).
+        Counted as one all-to-all round in the traffic statistics.
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} send items")
+        if self.rank == 0:
+            self.stats.record_alltoall(self._phase)
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send(objs[dst], dst, tag=-5)
+        out = [None] * self.size
+        # Self-delivery is a local copy: accounted as a (rank, rank) message.
+        self.stats.record_message(
+            self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+        )
+        out[self.rank] = objs[self.rank]
+        for src in range(self.size):
+            if src != self.rank:
+                out[src] = self.recv(src, tag=-5)
+        return out
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
+        """Reduce with *op* (default elementwise +) onto *root*."""
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        combine = op if op is not None else (lambda a, b: a + b)
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = combine(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None):
+        """Reduce then broadcast the result to every rank."""
+        result = self.reduce(obj, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(rank={self.rank}/{self.size})"

@@ -1,0 +1,31 @@
+"""Exception types of the simulated message-passing runtime."""
+
+from __future__ import annotations
+
+__all__ = ["SimMpiError", "DeadlockError", "RankFailure", "InjectedFault"]
+
+
+class SimMpiError(RuntimeError):
+    """Base class for all simulated-MPI errors."""
+
+
+class DeadlockError(SimMpiError):
+    """A receive (or barrier) waited past the runtime's timeout.
+
+    In a real MPI job this is the hang you attach a debugger to; here it
+    is turned into a hard error so the test suite stays honest about
+    matching sends and receives.
+    """
+
+
+class RankFailure(SimMpiError):
+    """Raised on surviving ranks when another rank died with an exception."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class InjectedFault(SimMpiError):
+    """Raised by a fault-injection hook (tests of failure handling)."""

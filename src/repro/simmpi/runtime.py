@@ -1,0 +1,112 @@
+"""SPMD launcher: run one function on every rank of a simulated world.
+
+:func:`run_spmd` is the ``mpiexec`` of this package: it spins up one
+thread per rank, hands each a :class:`~repro.simmpi.comm.Communicator`,
+and collects per-rank return values.  NumPy kernels release the GIL, so
+ranks genuinely overlap; but the point of the substrate is *semantic*
+fidelity (real message passing, real data distribution, byte-accurate
+traffic), not wall-clock parallel speedup — modelled cluster timing
+comes from :mod:`repro.cluster`.
+
+Failure semantics: if any rank raises, the world's abort flag is set,
+blocked receives/barriers on other ranks unwind, and the first original
+exception is re-raised in the caller — mirroring how an MPI job aborts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .comm import Communicator, World
+from .errors import RankFailure, SimMpiError
+from .stats import TrafficStats
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass
+class SpmdResult:
+    """Return values of one SPMD run plus its traffic statistics."""
+
+    values: list[Any]
+    stats: TrafficStats
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+    fault_hook: Callable | None = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on *nranks* ranks.
+
+    Parameters
+    ----------
+    nranks:
+        World size.
+    fn:
+        The rank program; receives its :class:`Communicator` first.
+    timeout:
+        Seconds a receive/barrier may block before the run is declared
+        deadlocked.
+    fault_hook:
+        Optional ``(src, dst, tag, payload) -> payload`` interceptor for
+        failure-injection tests (raise :class:`InjectedFault` to kill a
+        transfer, or return a corrupted payload).
+
+    Returns an :class:`SpmdResult` with ``values[rank]`` and the shared
+    :class:`TrafficStats`.
+    """
+    world = World(nranks, timeout=timeout)
+    world.fault_hook = fault_hook
+    values: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            values[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            with errors_lock:
+                errors.append((rank, exc))
+            world.abort_event.set()
+            world._barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        errors.sort(key=lambda e: e[0])
+
+        def is_secondary(exc: BaseException) -> bool:
+            # Plain SimMpiError ("aborted: ...") and deadlocks broken by
+            # the abort flag are consequences of some other rank's
+            # failure, not root causes.  Subclasses raised by user code
+            # or fault hooks (e.g. InjectedFault) ARE root causes.
+            return type(exc) is SimMpiError
+
+        rank, original = errors[0]
+        if is_secondary(original):
+            for r, e in errors:
+                if not is_secondary(e):
+                    rank, original = r, e
+                    break
+        raise RankFailure(rank, original) from original
+    return SpmdResult(values, world.stats)

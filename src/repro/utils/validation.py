@@ -1,0 +1,73 @@
+"""Argument validation helpers.
+
+All public entry points of the library validate their inputs eagerly and
+raise informative exceptions.  Centralising the checks keeps the error
+messages uniform and the call sites terse.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_power_of_two",
+    "as_complex_vector",
+]
+
+
+def require(condition: bool, message: str, exc: type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless *condition* holds.
+
+    A tiny guard helper so validation reads as a flat list of
+    preconditions instead of nested ``if``/``raise`` blocks.
+    """
+    if not condition:
+        raise exc(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return *value* as ``int`` after checking it is a positive integer.
+
+    Accepts Python ints and NumPy integer scalars; rejects bools (which
+    are ``int`` subclasses but never meaningful sizes) and anything
+    non-integral.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, (int, np.integer)):
+        ivalue = int(value)
+    else:
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be positive, got {ivalue}")
+    return ivalue
+
+
+def check_power_of_two(value: Any, name: str) -> int:
+    """Return *value* as ``int`` after checking it is a power of two."""
+    ivalue = check_positive_int(value, name)
+    if ivalue & (ivalue - 1):
+        raise ValueError(f"{name} must be a power of two, got {ivalue}")
+    return ivalue
+
+
+def as_complex_vector(x: Any, name: str = "x") -> np.ndarray:
+    """Coerce *x* to a 1-D contiguous ``complex128`` NumPy array.
+
+    The FFT kernels in :mod:`repro.dft` and the SOI pipeline operate on
+    ``complex128`` throughout (the paper's evaluation is double-precision
+    complex).  Real inputs are promoted; multi-dimensional inputs are
+    rejected rather than silently flattened.
+    """
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise TypeError(f"{name} must be numeric, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.complex128)

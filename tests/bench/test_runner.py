@@ -1,0 +1,47 @@
+"""Tests for the shared figure-benchmark runner."""
+
+import numpy as np
+
+from repro.bench import measured_traffic, run_figure_sweep
+from repro.cluster import cluster
+from repro.core import snr_db
+
+
+class TestRunFigureSweep:
+    def test_produces_table_and_series(self):
+        fig = run_figure_sweep(
+            "Fig X", cluster("endeavor"), [2, 4], ["SOI", "MKL"]
+        )
+        assert "Fig X" in fig.text
+        assert "speedup SOI over MKL" in fig.text
+        assert ("SOI", 2) in fig.sweep.points
+
+    def test_custom_points_per_node(self):
+        fig = run_figure_sweep(
+            "small", cluster("gordon"), [2], ["SOI", "MKL"], points_per_node=1 << 20
+        )
+        assert fig.sweep.points[("SOI", 2)].breakdown.n_total == 2 << 20
+
+
+class TestMeasuredTraffic:
+    def test_both_algorithms_correct(self, full_plan):
+        facts = measured_traffic(full_plan.n, 4, plan=full_plan)
+        assert snr_db(facts["soi_result"], facts["reference"]) > 280.0
+        assert snr_db(facts["std_result"], facts["reference"]) > 290.0
+
+    def test_round_counts(self, full_plan):
+        facts = measured_traffic(full_plan.n, 4, plan=full_plan)
+        assert facts["soi_alltoall_rounds"] == 1
+        assert facts["std_alltoall_rounds"] == 3
+
+    def test_volume_ratio_approaches_paper_claim(self, full_plan):
+        """SOI moves ~(1+beta)/3 of the baseline's all-to-all volume
+        (plus the tiny halo)."""
+        facts = measured_traffic(full_plan.n, 4, plan=full_plan)
+        soi_a2a = facts["soi_stats"].phase("alltoall").total_bytes
+        std_total = sum(
+            facts["std_stats"].phase(p).total_bytes
+            for p in ("transpose-1", "transpose-2", "transpose-3")
+        )
+        ratio = soi_a2a / std_total
+        assert abs(ratio - 1.25 / 3.0) < 0.01

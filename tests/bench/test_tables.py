@@ -1,0 +1,47 @@
+"""Tests for the ASCII table/series/bar printers."""
+
+from repro.bench.tables import bar_chart, format_series, format_table
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [33, 4.123456]])
+        assert "a" in text and "bb" in text
+        assert "33" in text
+
+    def test_title_first_line(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rule_under_header(self):
+        lines = format_table(["col"], [[1]]).splitlines()
+        assert set(lines[1]) == {"-"}
+
+    def test_large_floats_use_thousands_separator(self):
+        assert "1,234" in format_table(["v"], [[1234.0]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("speedup", [2, 4], [1.5, 1.75])
+        assert text.startswith("speedup:")
+        assert "2:1.5" in text and "4:1.75" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        assert bar_chart(["x"], [1.0], title="T").splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "#" not in text

@@ -1,0 +1,34 @@
+"""Tests for named cluster specs."""
+
+import pytest
+
+from repro.cluster import CLUSTERS, EthernetFabric, FatTree, Torus3D, cluster
+
+
+class TestClusterLookup:
+    def test_three_paper_systems(self):
+        assert set(CLUSTERS) == {"endeavor", "endeavor-10gbe", "gordon"}
+
+    def test_endeavor_is_fat_tree(self):
+        spec = cluster("endeavor")
+        assert isinstance(spec.fabric, FatTree)
+        assert spec.fabric.arity == 14
+
+    def test_gordon_is_torus(self):
+        spec = cluster("gordon")
+        assert isinstance(spec.fabric, Torus3D)
+        assert spec.fabric.concentration == 16
+
+    def test_fig8_setting_is_ethernet(self):
+        spec = cluster("endeavor-10gbe")
+        assert isinstance(spec.fabric, EthernetFabric)
+        assert spec.fabric.link_gbit == 10.0
+
+    def test_same_node_type_everywhere(self):
+        """Table 1: both clusters use the same compute node."""
+        nodes = {spec.node.name for spec in CLUSTERS.values()}
+        assert len(nodes) == 1
+
+    def test_unknown_cluster(self):
+        with pytest.raises(KeyError, match="available"):
+            cluster("summit")

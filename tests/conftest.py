@@ -1,0 +1,41 @@
+"""Shared fixtures for the repro test suite.
+
+Plans are session-scoped: constructing a SoiPlan computes the window
+metrics and coefficient tensor, which is cheap but not free, and the
+same canonical plans are reused across dozens of tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SoiPlan
+
+
+@pytest.fixture(scope="session")
+def full_plan() -> SoiPlan:
+    """The paper's operating point: beta=1/4, full-accuracy window."""
+    return SoiPlan(n=4096, p=8)
+
+
+@pytest.fixture(scope="session")
+def small_plan() -> SoiPlan:
+    """A small low-accuracy plan cheap enough for dense-matrix tests."""
+    return SoiPlan(n=256, p=4, window="digits6")
+
+
+@pytest.fixture(scope="session")
+def medium_plan() -> SoiPlan:
+    """Mid-size plan with multiple segments per rank in distributed runs."""
+    return SoiPlan(n=8192, p=16, window="digits10")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_complex(n: int, seed: int = 0) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return gen.standard_normal(n) + 1j * gen.standard_normal(n)

@@ -1,0 +1,82 @@
+"""Tests for SNR / digit metrics and the error budget."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SoiPlan
+from repro.core.accuracy import (
+    digits_from_snr,
+    error_budget,
+    relative_l2_error,
+    snr_db,
+    snr_from_digits,
+)
+from repro.core.windows import TauSigmaWindow
+
+
+class TestSnrDb:
+    def test_exact_match_is_inf(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert snr_db(x, x) == math.inf
+
+    def test_known_ratio(self):
+        ref = np.array([1.0, 0.0])
+        got = np.array([1.0, 0.01])
+        assert snr_db(got, ref) == pytest.approx(40.0)
+
+    def test_20db_per_digit(self):
+        ref = np.ones(100, dtype=complex)
+        got = ref + 1e-6  # 6 digits
+        assert snr_db(got, ref) == pytest.approx(120.0, abs=0.5)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            snr_db(np.ones(3), np.ones(4))
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            snr_db(np.ones(3), np.zeros(3))
+
+    def test_digit_conversions_roundtrip(self):
+        assert digits_from_snr(snr_from_digits(12.5)) == 12.5
+
+
+class TestRelativeL2:
+    def test_zero_for_match(self):
+        x = np.arange(5, dtype=float)
+        assert relative_l2_error(x, x) == 0.0
+
+    def test_known_value(self):
+        assert relative_l2_error(np.array([1.1]), np.array([1.0])) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_l2_error(np.ones(2), np.zeros(2))
+
+
+class TestErrorBudget:
+    def test_budget_fields(self, full_plan):
+        budget = error_budget(full_plan)
+        for key in ("kappa", "eps_fft", "eps_alias", "eps_trunc", "modelled_digits"):
+            assert key in budget
+
+    def test_budget_predicts_at_most_measured(self, full_plan):
+        """The budget is a worst-case bound: measured accuracy must be
+        at least as good (checked against the known 288 dB from
+        test_soi)."""
+        budget = error_budget(full_plan)
+        assert budget["modelled_digits"] <= 15.0
+        assert budget["modelled_digits"] >= 10.0
+
+    def test_budget_needs_design(self):
+        plan = SoiPlan(n=1024, p=4, window=TauSigmaWindow(0.7, 100.0), b=24)
+        with pytest.raises(ValueError, match="bare window"):
+            error_budget(plan)
+
+    def test_snr_consistency(self, full_plan):
+        budget = error_budget(full_plan)
+        assert budget["modelled_snr_db"] == pytest.approx(
+            20.0 * budget["modelled_digits"]
+        )

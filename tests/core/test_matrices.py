@@ -1,0 +1,153 @@
+"""Tests for the dense reference factorisations (Sections 3, 5, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_complex
+from repro.core import SoiPlan
+from repro.core.matrices import (
+    dense_c0_matrix,
+    dense_soi_operator,
+    dense_w_matrix,
+    exact_compact_fft,
+    exact_compact_w_matrix,
+    kron_identity_apply,
+    stride_permutation_indices,
+    stride_permutation_matrix,
+)
+from repro.core.soi import soi_convolve, soi_fft
+from repro.dft.naive import dft_matrix
+
+
+class TestStridePermutation:
+    def test_definition(self):
+        """w[k + j*(n/ell)] = v[j + k*ell] (Section 5)."""
+        ell, n = 3, 12
+        idx = stride_permutation_indices(ell, n)
+        v = np.arange(n)
+        w = v[idx]
+        for j in range(ell):
+            for k in range(n // ell):
+                assert w[k + j * (n // ell)] == v[j + k * ell]
+
+    def test_is_bijection(self):
+        idx = stride_permutation_indices(4, 20)
+        assert sorted(idx) == list(range(20))
+
+    def test_inverse_pair(self):
+        """P^{ell,n} and P^{n/ell,n} are inverses (used in Section 5)."""
+        ell, n = 5, 30
+        a = stride_permutation_indices(ell, n)
+        b = stride_permutation_indices(n // ell, n)
+        v = np.arange(n)
+        np.testing.assert_array_equal(v[a][b], v)
+
+    def test_matrix_matches_indices(self):
+        ell, n = 2, 8
+        mat = stride_permutation_matrix(ell, n)
+        idx = stride_permutation_indices(ell, n)
+        v = np.arange(n, dtype=float)
+        np.testing.assert_array_equal(mat @ v, v[idx])
+
+    def test_matrix_is_orthogonal(self):
+        mat = stride_permutation_matrix(3, 12)
+        np.testing.assert_allclose(mat @ mat.T, np.eye(12))
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            stride_permutation_indices(5, 12)
+
+
+class TestKronApply:
+    def test_matches_dense_kron(self, rng):
+        a = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        x = rng.standard_normal(12) + 1j * rng.standard_normal(12)
+        expected = np.kron(np.eye(4), a) @ x
+        np.testing.assert_allclose(kron_identity_apply(a, x, 4), expected, atol=1e-12)
+
+    def test_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            kron_identity_apply(np.eye(3), np.zeros(10), 4)
+
+
+class TestDenseW:
+    def test_matches_fast_convolution(self, small_plan):
+        x = random_complex(small_plan.n, 21)
+        w = dense_w_matrix(small_plan)
+        z_dense = (w @ x).reshape(small_plan.m_over, small_plan.p)
+        np.testing.assert_allclose(z_dense, soi_convolve(x, small_plan), atol=1e-13)
+
+    def test_block_sparsity(self, small_plan):
+        """Each block-row has at most B*P nonzeros (Fig. 4)."""
+        w = dense_w_matrix(small_plan)
+        nnz_per_row = (np.abs(w) > 0).sum(axis=1)
+        assert nnz_per_row.max() <= small_plan.b * small_plan.p
+
+    def test_c0_matches_w_first_block_rows(self, small_plan):
+        """The dense C0 (Eq. 4 with periodic images) agrees with the
+        (I_M' x F_P)-factored W on the unmodulated path: summing W's
+        block rows over p reproduces C0's rows."""
+        plan = small_plan
+        c0 = dense_c0_matrix(plan)
+        w = dense_w_matrix(plan)
+        x = random_complex(plan.n, 22)
+        # segment 0: x~_j = sum_p z[j, p].  C0 here is UNtruncated, so the
+        # two agree only to the plan's truncation level (digits6 window).
+        z = (w @ x).reshape(plan.m_over, plan.p)
+        np.testing.assert_allclose(z.sum(axis=1), c0 @ x, atol=1e-6)
+
+
+class TestDenseSoiOperator:
+    def test_approximates_dft_matrix(self, small_plan):
+        """Eq. 6 as a matrix identity: the assembled operator is F_N up
+        to the window's error budget (digits6 => ~1e-5 relative)."""
+        op = dense_soi_operator(small_plan)
+        f = dft_matrix(small_plan.n)
+        rel = np.max(np.abs(op - f)) / np.max(np.abs(f))
+        assert rel < 1e-4
+
+    def test_matches_fast_pipeline(self, small_plan):
+        x = random_complex(small_plan.n, 23)
+        np.testing.assert_allclose(
+            dense_soi_operator(small_plan) @ x,
+            soi_fft(x, small_plan),
+            atol=1e-8,
+        )
+
+    def test_higher_accuracy_window_tightens_operator(self):
+        plan6 = SoiPlan(n=256, p=4, window="digits6")
+        plan10 = SoiPlan(n=512, p=4, window="digits10")
+        f6 = dft_matrix(plan6.n)
+        f10 = dft_matrix(plan10.n)
+        rel6 = np.max(np.abs(dense_soi_operator(plan6) - f6)) / plan6.n
+        rel10 = np.max(np.abs(dense_soi_operator(plan10) - f10)) / plan10.n
+        assert rel10 < rel6
+
+
+class TestExactCompactWindow:
+    """Section 8: the compact window makes the factorisation EXACT —
+    this is the framework's rederivation of Edelman et al. [14]."""
+
+    @pytest.mark.parametrize("n,p", [(24, 4), (36, 6), (64, 8), (60, 4), (16, 16)])
+    def test_exact_fft(self, n, p):
+        x = random_complex(n, n + p)
+        y = exact_compact_fft(x, p)
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-10 * n)
+
+    def test_w_matrix_is_dense(self):
+        """The compact window's W is dense — the reason [14] needed FMM
+        and the paper prefers smooth windows (Section 8)."""
+        w = exact_compact_w_matrix(24, 4)
+        fraction_nonzero = np.mean(np.abs(w) > 1e-14)
+        # Columns k = 0 (mod P) are structurally sparse (the geometric
+        # sum vanishes there); every other column is fully dense — no
+        # B-sparse structure exists, unlike the smooth-window W.
+        assert fraction_nonzero > 0.5
+
+    def test_p_equal_one_degenerates_to_identity_pipeline(self):
+        x = random_complex(12, 3)
+        np.testing.assert_allclose(exact_compact_fft(x, 1), np.fft.fft(x), atol=1e-11)
+
+    def test_divisibility(self):
+        with pytest.raises(ValueError):
+            exact_compact_fft(np.zeros(10, dtype=complex), 4)

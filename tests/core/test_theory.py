@@ -1,0 +1,137 @@
+"""Tests for the Definition-1 operators and Theorem 1 (hybrid convolution).
+
+These are the paper's mathematical foundations: the theorem is an exact
+identity (for untruncated windows), so the two sides must agree to
+rounding regardless of window choice, sizes, or data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    convolve_window,
+    hybrid_convolution_lhs,
+    hybrid_convolution_rhs,
+    modulate,
+    periodize,
+    sample,
+)
+from repro.core.windows import GaussianWindow, TauSigmaWindow
+
+WIN = TauSigmaWindow(0.72, 60.0)
+
+
+def _rand(n, seed=0):
+    g = np.random.default_rng(seed)
+    return g.standard_normal(n) + 1j * g.standard_normal(n)
+
+
+class TestSample:
+    def test_samples_unit_interval(self):
+        out = sample(lambda t: t * 2.0, 4)
+        np.testing.assert_allclose(out, [0, 0.5, 1.0, 1.5])
+
+    def test_length(self):
+        assert sample(np.cos, 7).shape == (7,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises((ValueError, TypeError)):
+            sample(np.cos, 0)
+
+
+class TestPeriodize:
+    def test_shift_and_add(self):
+        # Sequence: 1 at k=0 and 1 at k=5; Peri with M=5 folds them together.
+        def z(idx):
+            return np.where((idx == 0) | (idx == 5), 1.0, 0.0)
+
+        out = periodize(z, 5, range(-10, 11))
+        np.testing.assert_allclose(out, [2, 0, 0, 0, 0])
+
+    def test_negative_indices_fold_correctly(self):
+        def z(idx):
+            return np.where(idx == -1, 3.0, 0.0)
+
+        out = periodize(z, 4, range(-8, 8))
+        np.testing.assert_allclose(out, [0, 0, 0, 3.0])
+
+
+class TestModulate:
+    def test_periodic_extension_of_y(self):
+        y = _rand(8, 1)
+        k = np.array([3, 3 + 8, 3 - 8])
+        vals = modulate(y, WIN, 4, 8, k)
+        # all three share y_3 but different window factors
+        w = np.exp(1j * np.pi * 8 * k / 4) * WIN.h_hat((k - 2.0) / 4)
+        np.testing.assert_allclose(vals, y[3] * w, rtol=1e-12)
+
+
+class TestConvolveWindow:
+    def test_linearity_in_x(self):
+        n, m, b = 24, 6, 10
+        x1, x2 = _rand(n, 2), _rand(n, 3)
+        t = np.array([0.1, 0.37])
+        lhs = convolve_window(2 * x1 - 1j * x2, WIN, m, b, t)
+        rhs = 2 * convolve_window(x1, WIN, m, b, t) - 1j * convolve_window(
+            x2, WIN, m, b, t
+        )
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_periodicity_in_t(self):
+        """x is N-periodic, so (x*w)(t+1) == (x*w)(t)."""
+        n, m, b = 20, 5, 10
+        x = _rand(n, 4)
+        t = np.array([0.21])
+        a = convolve_window(x, WIN, m, b, t)
+        c = convolve_window(x, WIN, m, b, t + 1.0)
+        np.testing.assert_allclose(a, c, rtol=1e-9)
+
+
+class TestTheorem1:
+    """F_M [ (1/M) Samp(x*w; 1/M) ] == Peri(y . w_hat; M)."""
+
+    @pytest.mark.parametrize(
+        "n,m,m_sample,b",
+        [
+            (32, 8, 8, 16),
+            (48, 12, 15, 16),
+            (60, 12, 12, 12),
+            (40, 8, 10, 16),
+        ],
+    )
+    def test_identity_tausigma(self, n, m, m_sample, b):
+        x = _rand(n, n)
+        lhs = hybrid_convolution_lhs(x, WIN, m, b, m_sample)
+        rhs = hybrid_convolution_rhs(x, WIN, m, b, m_sample)
+        scale = np.max(np.abs(rhs))
+        assert np.max(np.abs(lhs - rhs)) / scale < 1e-11
+
+    def test_identity_gaussian(self):
+        win = GaussianWindow(40.0)
+        x = _rand(40, 7)
+        lhs = hybrid_convolution_lhs(x, win, 10, 12, 10)
+        rhs = hybrid_convolution_rhs(x, win, 10, 12, 10)
+        assert np.max(np.abs(lhs - rhs)) / np.max(np.abs(rhs)) < 1e-11
+
+    def test_identity_with_oversampling(self):
+        """The SOI use case: sampling length M' = (1+beta) M > M."""
+        x = _rand(64, 9)
+        m, m_sample = 16, 20
+        lhs = hybrid_convolution_lhs(x, WIN, m, 16, m_sample)
+        rhs = hybrid_convolution_rhs(x, WIN, m, 16, m_sample)
+        assert np.max(np.abs(lhs - rhs)) / np.max(np.abs(rhs)) < 1e-11
+
+    def test_segment_recovery_through_demodulation(self):
+        """End-to-end Fig. 1 story at dense-math level: the first M bins
+        of y are recovered from Peri(y.w_hat; M') by demodulating."""
+        n, p = 64, 4
+        m = n // p
+        m_over = 20  # 1.25 * m
+        win = TauSigmaWindow(0.93, 412.167)
+        b = 78
+        x = _rand(n, 11)
+        y = np.fft.fft(x)
+        lhs = hybrid_convolution_lhs(x, win, m, b, m_over)
+        demod = win.demodulation_values(m, b)
+        recovered = lhs[:m] / demod
+        np.testing.assert_allclose(recovered, y[:m], rtol=0, atol=1e-8 * np.abs(y).max())

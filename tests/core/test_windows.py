@@ -1,0 +1,233 @@
+"""Tests for the window-function families (Section 4 / Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.windows import GaussianWindow, TauSigmaWindow, window_from_spec
+
+FULL = TauSigmaWindow(0.93, 412.167)  # the frozen "full" preset window
+
+
+class TestTauSigmaFrequencyProfile:
+    def test_positive_on_passband(self):
+        u = np.linspace(-0.5, 0.5, 201)
+        assert np.all(FULL.h_hat(u) > 0)
+
+    def test_even_symmetry(self):
+        u = np.linspace(0, 2, 50)
+        np.testing.assert_allclose(FULL.h_hat(u), FULL.h_hat(-u), rtol=1e-12)
+
+    def test_peak_is_at_center_plateau(self):
+        # H_hat has a flat top around 0 (smoothed rect); the centre value
+        # must be within rounding of the global max.
+        u = np.linspace(-1, 1, 401)
+        vals = FULL.h_hat(u)
+        assert FULL.h_hat(np.array([0.0]))[0] == pytest.approx(vals.max(), rel=1e-12)
+
+    def test_center_value_closed_form(self):
+        # H_hat(0) = sqrt(pi/sigma)/tau * erf(sqrt(sigma) tau/2).
+        from scipy.special import erf
+
+        expected = (
+            math.sqrt(math.pi / FULL.sigma)
+            / FULL.tau
+            * erf(math.sqrt(FULL.sigma) * FULL.tau / 2.0)
+        )
+        assert FULL.h_hat(np.array([0.0]))[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_decays_fast_in_stopband(self):
+        val = float(FULL.h_hat(np.array([0.75]))[0])
+        assert val < 1e-14
+
+    def test_matches_direct_quadrature(self):
+        """Closed form (erf difference) vs numerical integral of Eq. 2."""
+        from scipy.integrate import quad
+
+        win = TauSigmaWindow(0.8, 50.0)
+        for u in [0.0, 0.3, 0.5, 0.9]:
+            direct, _ = quad(
+                lambda t: math.exp(-win.sigma * (u - t) ** 2),
+                -win.tau / 2,
+                win.tau / 2,
+            )
+            direct /= win.tau
+            assert win.h_hat(np.array([u]))[0] == pytest.approx(direct, rel=1e-10)
+
+
+class TestTauSigmaTimeProfile:
+    def test_is_sinc_times_gaussian(self):
+        win = TauSigmaWindow(0.7, 100.0)
+        t = np.linspace(-5, 5, 101)
+        expected = np.sinc(0.7 * t) * math.sqrt(math.pi / 100.0) * np.exp(
+            -np.pi**2 * t**2 / 100.0
+        )
+        np.testing.assert_allclose(win.h_time(t), expected, rtol=1e-12)
+
+    def test_fourier_pair_consistency(self):
+        """H(t) must be the inverse transform of H_hat: check via a
+        discretised Fourier integral."""
+        win = TauSigmaWindow(0.8, 60.0)
+        u = np.linspace(-6, 6, 4801)
+        du = u[1] - u[0]
+        for t in [0.0, 0.5, 1.3]:
+            integral = np.sum(win.h_hat(u) * np.exp(2j * np.pi * u * t)) * du
+            assert integral.real == pytest.approx(
+                float(win.h_time(np.array([t]))[0]), abs=1e-9
+            )
+            assert abs(integral.imag) < 1e-9
+
+    def test_no_underflow_warnings_far_out(self):
+        t = np.array([1e3, 1e6])
+        out = FULL.h_time(t)
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestDesignMetrics:
+    def test_kappa_at_least_one(self):
+        assert FULL.kappa() >= 1.0
+
+    def test_kappa_increases_with_sigma(self):
+        k1 = TauSigmaWindow(0.8, 100.0).kappa()
+        k2 = TauSigmaWindow(0.8, 400.0).kappa()
+        assert k2 > k1
+
+    def test_alias_error_decreases_with_beta(self):
+        win = TauSigmaWindow(0.8, 150.0)
+        assert win.alias_error(0.5) < win.alias_error(0.25) < win.alias_error(0.1)
+
+    def test_alias_error_pointwise_decreases_with_beta(self):
+        win = TauSigmaWindow(0.8, 150.0)
+        assert win.alias_error_pointwise(0.5) < win.alias_error_pointwise(0.25)
+
+    def test_alias_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            FULL.alias_error(-0.1)
+
+    def test_truncation_width_even_and_positive(self):
+        b = FULL.truncation_width(1e-16)
+        assert b > 0 and b % 2 == 0
+
+    def test_truncation_width_shrinks_with_looser_eps(self):
+        assert FULL.truncation_width(1e-6) < FULL.truncation_width(1e-16)
+
+    def test_truncation_eps_validation(self):
+        with pytest.raises(ValueError):
+            FULL.truncation_width(0.0)
+        with pytest.raises(ValueError):
+            FULL.truncation_width(1.5)
+
+    def test_truncation_captures_mass(self):
+        """Directly verify the defining integral inequality."""
+        win = TauSigmaWindow(0.8, 100.0)
+        eps = 1e-10
+        b = win.truncation_width(eps)
+        t = np.linspace(-3 * b, 3 * b, 200001)
+        dt = t[1] - t[0]
+        mass = np.abs(win.h_time(t))
+        total = mass.sum() * dt
+        outside = mass[np.abs(t) >= b / 2].sum() * dt
+        assert outside <= eps * total * 1.01 + 1e-300
+
+
+class TestDemodulation:
+    def test_length_and_nonzero(self):
+        d = FULL.demodulation_values(64, 78)
+        assert d.shape == (64,)
+        assert np.all(np.abs(d) > 0)
+
+    def test_magnitude_profile_matches_h_hat(self):
+        m, b = 128, 78
+        d = FULL.demodulation_values(m, b)
+        k = np.arange(m)
+        np.testing.assert_allclose(np.abs(d), FULL.h_hat((k - m / 2) / m), rtol=1e-12)
+
+    def test_phase_is_exact_root_of_unity(self):
+        m, b = 64, 72
+        d = FULL.demodulation_values(m, b)
+        k = np.arange(m)
+        expected_phase = np.exp(1j * np.pi * ((b * k) % (2 * m)) / m)
+        np.testing.assert_allclose(d / np.abs(d), expected_phase, atol=1e-12)
+
+
+class TestWTime:
+    def test_support_is_one_sided(self):
+        """w(t) lives essentially on t in [-B/M, 0] (Fig. 4's forward halo)."""
+        m, b = 64, 24
+        win = TauSigmaWindow(0.6, 60.0)
+        inside = np.abs(win.w_time(np.linspace(-b / m, 0, 50), m, b))
+        outside = np.abs(win.w_time(np.array([0.5, 1.0, -2.0 * b / m]), m, b))
+        assert inside.max() > 1e3 * outside.max()
+
+    def test_scaling_with_m(self):
+        win = TauSigmaWindow(0.6, 60.0)
+        # At the window centre t = -B/(2M), |w| = M * H(0).
+        for m in [32, 128]:
+            b = 16
+            val = abs(win.w_time(np.array([-b / (2 * m)]), m, b)[0])
+            assert val == pytest.approx(m * float(win.h_time(np.array([0.0]))[0]), rel=1e-12)
+
+
+class TestGaussianWindow:
+    def test_kappa_closed_form(self):
+        assert GaussianWindow(40.0).kappa() == pytest.approx(math.exp(10.0))
+
+    def test_h_hat_value(self):
+        win = GaussianWindow(10.0)
+        assert win.h_hat(np.array([0.5]))[0] == pytest.approx(math.exp(-2.5))
+
+    def test_fourier_pair(self):
+        win = GaussianWindow(30.0)
+        u = np.linspace(-4, 4, 3201)
+        du = u[1] - u[0]
+        t = 0.7
+        integral = np.sum(win.h_hat(u) * np.exp(2j * np.pi * u * t)) * du
+        assert integral.real == pytest.approx(float(win.h_time(np.array([t]))[0]), abs=1e-9)
+
+    def test_truncation_width(self):
+        b = GaussianWindow(40.0).truncation_width(1e-12)
+        assert b % 2 == 0 and 2 <= b < 60
+
+    def test_accuracy_limitation_vs_tausigma(self):
+        """Section 8: at beta=1/4 the Gaussian window cannot reach the
+        kappa/alias combination the two-parameter window reaches."""
+        beta = 0.25
+        # Pick the Gaussian sigma that minimises (pointwise alias * 1) +
+        # kappa * eps — any sigma: product of constraints bottoms out ~1e-10.
+        best = min(
+            GaussianWindow(s).alias_error_pointwise(beta) * GaussianWindow(s).kappa()
+            for s in np.linspace(10, 120, 56)
+        )
+        assert best > 1e-12  # cannot reach full double precision
+        # while the tuned two-parameter window can:
+        ts = FULL.alias_error_pointwise(beta) * 1.0  # kappa ~ 6 handled in design
+        assert ts < 1e-14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianWindow(0.0)
+
+
+class TestWindowFromSpec:
+    def test_instance_passthrough(self):
+        assert window_from_spec(FULL) is FULL
+
+    def test_tuple(self):
+        win = window_from_spec((0.8, 100.0))
+        assert isinstance(win, TauSigmaWindow)
+        assert win.tau == 0.8 and win.sigma == 100.0
+
+    def test_preset_name(self):
+        win = window_from_spec("digits10")
+        assert isinstance(win, TauSigmaWindow)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            window_from_spec(42)
+
+    def test_tau_sigma_validation(self):
+        with pytest.raises(ValueError):
+            TauSigmaWindow(0.0, 10.0)
+        with pytest.raises(ValueError):
+            TauSigmaWindow(1.0, -1.0)

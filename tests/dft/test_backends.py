@@ -1,0 +1,57 @@
+"""Tests for the FFT backend registry."""
+
+import numpy as np
+import pytest
+
+from repro.dft import FftBackend, available_backends, get_backend, register_backend
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        names = available_backends()
+        assert "repro" in names and "numpy" in names
+
+    def test_get_by_name(self):
+        assert get_backend("numpy").name == "numpy"
+
+    def test_instance_passthrough(self):
+        be = get_backend("repro")
+        assert get_backend(be) is be
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="numpy"):
+            get_backend("mkl")
+
+    def test_register_duplicate_rejected(self):
+        be = get_backend("numpy")
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(FftBackend("numpy", be.fft, be.ifft))
+
+    def test_register_overwrite_allowed(self):
+        be = get_backend("numpy")
+        register_backend(FftBackend("numpy", be.fft, be.ifft), overwrite=True)
+        assert get_backend("numpy").fft is be.fft
+
+
+class TestBackendAgreement:
+    """The two built-in backends must agree — a cross-implementation check."""
+
+    @pytest.mark.parametrize("n", [16, 60, 97, 640])
+    def test_forward_agreement(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        a = get_backend("repro").fft(x)
+        b = get_backend("numpy").fft(x)
+        np.testing.assert_allclose(a, b, atol=1e-9 * n)
+
+    @pytest.mark.parametrize("n", [16, 60])
+    def test_inverse_agreement(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        a = get_backend("repro").ifft(x)
+        b = get_backend("numpy").ifft(x)
+        np.testing.assert_allclose(a, b, atol=1e-11)
+
+    def test_batched_agreement(self, rng):
+        x = rng.standard_normal((4, 80)) + 1j * rng.standard_normal((4, 80))
+        np.testing.assert_allclose(
+            get_backend("repro").fft(x), get_backend("numpy").fft(x), atol=1e-9
+        )

@@ -1,0 +1,47 @@
+"""Tests for the Bluestein chirp-z kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dft import fft_bluestein
+
+
+class TestFftBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 13, 97, 127, 251, 509])
+    def test_primes_match_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-9 * max(n, 1))
+
+    @pytest.mark.parametrize("n", [4, 12, 100, 256])
+    def test_composites_also_work(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-9 * n)
+
+    @pytest.mark.parametrize("n", [7, 101])
+    def test_inverse_roundtrip(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            fft_bluestein(fft_bluestein(x), inverse=True), x, atol=1e-10
+        )
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((3, 31)) + 1j * rng.standard_normal((3, 31))
+        np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_large_prime_accuracy(self, rng):
+        """The exact chirp reduction must hold accuracy at larger n."""
+        n = 10007
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        err = np.max(np.abs(fft_bluestein(x) - np.fft.fft(x)))
+        scale = np.max(np.abs(np.fft.fft(x)))
+        assert err / scale < 1e-12
+
+    def test_single_tone(self):
+        n, f = 11, 3
+        x = np.exp(2j * np.pi * f * np.arange(n) / n)
+        y = fft_bluestein(x)
+        assert abs(y[f] - n) < 1e-10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fft_bluestein(np.zeros(0))

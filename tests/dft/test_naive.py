@@ -1,0 +1,76 @@
+"""Tests for the O(N^2) reference DFT (the correctness oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.dft import dft, dft_matrix, idft
+
+
+class TestDftMatrix:
+    def test_shape(self):
+        assert dft_matrix(5).shape == (5, 5)
+
+    def test_first_row_and_column_are_ones(self):
+        f = dft_matrix(6)
+        np.testing.assert_allclose(f[0], 1.0)
+        np.testing.assert_allclose(f[:, 0], 1.0)
+
+    def test_unitary_up_to_scale(self):
+        n = 8
+        f = dft_matrix(n)
+        np.testing.assert_allclose(f @ f.conj().T, n * np.eye(n), atol=1e-12)
+
+    def test_inverse_flag(self):
+        n = 7
+        prod = dft_matrix(n) @ dft_matrix(n, inverse=True)
+        np.testing.assert_allclose(prod, n * np.eye(n), atol=1e-12)
+
+    def test_symmetric(self):
+        f = dft_matrix(9)
+        np.testing.assert_allclose(f, f.T, atol=1e-15)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0)
+
+
+class TestDft:
+    def test_delta_gives_flat_spectrum(self):
+        x = np.zeros(8, dtype=complex)
+        x[0] = 1.0
+        np.testing.assert_allclose(dft(x), np.ones(8), atol=1e-14)
+
+    def test_constant_gives_delta(self):
+        y = dft(np.ones(16, dtype=complex))
+        expected = np.zeros(16)
+        expected[0] = 16.0
+        np.testing.assert_allclose(y, expected, atol=1e-12)
+
+    def test_single_tone_lands_on_its_bin(self):
+        n, f = 32, 5
+        x = np.exp(2j * np.pi * f * np.arange(n) / n)
+        y = dft(x)
+        assert abs(y[f] - n) < 1e-10
+        mask = np.ones(n, bool)
+        mask[f] = False
+        assert np.max(np.abs(y[mask])) < 1e-10
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 33, 64])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(dft(x), np.fft.fft(x), atol=1e-10 * n)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dft(np.zeros((2, 3)))
+
+
+class TestIdft:
+    @pytest.mark.parametrize("n", [1, 4, 11, 30])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(idft(dft(x)), x, atol=1e-11)
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(17) + 1j * rng.standard_normal(17)
+        np.testing.assert_allclose(idft(x), np.fft.ifft(x), atol=1e-12)

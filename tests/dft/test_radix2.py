@@ -1,0 +1,75 @@
+"""Tests for the iterative radix-2 kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dft import dft, fft_radix2, ifft_radix2
+
+
+class TestFftRadix2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 4096])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x), atol=1e-10 * max(n, 1))
+
+    def test_matches_naive_dft(self, rng):
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        np.testing.assert_allclose(fft_radix2(x), dft(x), atol=1e-10)
+
+    def test_batched_2d(self, rng):
+        x = rng.standard_normal((5, 64)) + 1j * rng.standard_normal((5, 64))
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x, axis=-1), atol=1e-10)
+
+    def test_batched_3d(self, rng):
+        x = rng.standard_normal((3, 4, 16)) + 1j * rng.standard_normal((3, 4, 16))
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x, axis=-1), atol=1e-10)
+
+    def test_batch_rows_are_independent(self, rng):
+        x = rng.standard_normal((2, 32)) + 1j * rng.standard_normal((2, 32))
+        full = fft_radix2(x)
+        np.testing.assert_array_equal(full[0], fft_radix2(x[0]))
+        np.testing.assert_array_equal(full[1], fft_radix2(x[1]))
+
+    def test_input_not_modified(self, rng):
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        copy = x.copy()
+        fft_radix2(x)
+        np.testing.assert_array_equal(x, copy)
+
+    def test_real_input_promoted(self):
+        x = np.ones(8)
+        y = fft_radix2(x)
+        assert y.dtype == np.complex128
+        assert abs(y[0] - 8) < 1e-12
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            fft_radix2(np.zeros(12))
+
+    def test_length_one_is_identity(self):
+        np.testing.assert_array_equal(fft_radix2(np.array([3 + 4j])), [3 + 4j])
+
+
+class TestIfftRadix2:
+    @pytest.mark.parametrize("n", [1, 2, 8, 128])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(ifft_radix2(fft_radix2(x)), x, atol=1e-11)
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(ifft_radix2(x), np.fft.ifft(x), atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ifft_radix2(np.zeros(10))
+
+
+class TestParseval:
+    """Energy conservation |y|^2 = n |x|^2 — a global numerical check."""
+
+    @pytest.mark.parametrize("n", [8, 64, 1024])
+    def test_energy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = fft_radix2(x)
+        assert np.sum(np.abs(y) ** 2) == pytest.approx(n * np.sum(np.abs(x) ** 2), rel=1e-12)

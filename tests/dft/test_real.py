@@ -1,0 +1,65 @@
+"""Tests for the real-input FFT (packed half-length algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.dft import irfft, rfft
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 100, 128, 1000, 1280])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-9 * n)
+
+    def test_output_length(self):
+        assert rfft(np.ones(16)).shape == (9,)
+
+    def test_dc_and_nyquist_are_real(self, rng):
+        y = rfft(rng.standard_normal(32))
+        assert abs(y[0].imag) < 1e-12
+        assert abs(y[-1].imag) < 1e-12
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((3, 64))
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x, axis=-1), atol=1e-9)
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError, match="real"):
+            rfft(np.zeros(8, dtype=complex))
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError, match="even"):
+            rfft(np.zeros(9))
+
+    def test_cosine_line(self):
+        n, f = 64, 5
+        x = np.cos(2 * np.pi * f * np.arange(n) / n)
+        y = rfft(x)
+        assert abs(y[f] - n / 2) < 1e-9
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [2, 8, 64, 100, 1000])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(irfft(rfft(x)), x, atol=1e-10)
+
+    def test_matches_numpy(self, rng):
+        spec = np.fft.rfft(rng.standard_normal(64))
+        np.testing.assert_allclose(irfft(spec), np.fft.irfft(spec), atol=1e-11)
+
+    def test_explicit_n(self, rng):
+        x = rng.standard_normal(32)
+        np.testing.assert_allclose(irfft(rfft(x), n=32), x, atol=1e-10)
+
+    def test_inconsistent_n_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            irfft(np.zeros(9, dtype=complex), n=10)
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            irfft(np.zeros(1, dtype=complex))
+
+    def test_output_is_real_dtype(self, rng):
+        assert irfft(rfft(rng.standard_normal(16))).dtype == np.float64

@@ -1,0 +1,64 @@
+"""Tests for twiddle caching."""
+
+import numpy as np
+import pytest
+
+from repro.dft.twiddle import clear_twiddle_cache, twiddle_cache_info, twiddles
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_twiddle_cache()
+    yield
+    clear_twiddle_cache()
+
+
+class TestTwiddles:
+    def test_forward_values(self):
+        w = twiddles(4, -1)
+        np.testing.assert_allclose(w, [1, -1j, -1, 1j], atol=1e-15)
+
+    def test_inverse_is_conjugate(self):
+        np.testing.assert_allclose(twiddles(12, 1), np.conj(twiddles(12, -1)), atol=1e-15)
+
+    def test_unit_modulus(self):
+        np.testing.assert_allclose(np.abs(twiddles(37, -1)), 1.0, atol=1e-15)
+
+    def test_cache_hit_returns_same_object(self):
+        a = twiddles(64, -1)
+        b = twiddles(64, -1)
+        assert a is b
+
+    def test_readonly(self):
+        w = twiddles(8, -1)
+        with pytest.raises(ValueError):
+            w[0] = 0
+
+    def test_sign_validation(self):
+        with pytest.raises(ValueError):
+            twiddles(8, 2)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            twiddles(0, -1)
+
+
+class TestCacheBehaviour:
+    def test_hit_miss_counters(self):
+        twiddles(16, -1)
+        twiddles(16, -1)
+        twiddles(32, -1)
+        info = twiddle_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["entries"] == 2
+
+    def test_clear_resets(self):
+        twiddles(16, -1)
+        clear_twiddle_cache()
+        assert twiddle_cache_info() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_lru_eviction_bounds_entries(self):
+        for n in range(2, 300):
+            twiddles(n, -1)
+        assert twiddle_cache_info()["entries"] <= 256

@@ -1,0 +1,168 @@
+"""Tests for the NUFFT rederived from the paper's convolution framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import KaiserBesselWindow
+from repro.nufft import NufftPlan, nudft1, nudft2, nufft1, nufft2
+
+
+def scatter(n, seed=0):
+    g = np.random.default_rng(seed)
+    return g.random(n), g.standard_normal(n) + 1j * g.standard_normal(n)
+
+
+class TestPlan:
+    def test_grid_size(self):
+        plan = NufftPlan(256)
+        assert plan.n_grid == 320  # 256 * 5/4
+        assert plan.rho == pytest.approx(0.8)
+
+    def test_odd_modes_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            NufftPlan(255)
+
+    def test_non_integer_grid_rejected(self):
+        with pytest.raises(ValueError, match="integer grid"):
+            NufftPlan(250, sigma_os=1.25)  # 312.5
+
+    def test_sigma_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            NufftPlan(256, sigma_os=1.0)
+
+    def test_bare_window_needs_width(self):
+        with pytest.raises(ValueError, match="spread_width"):
+            NufftPlan(256, window=KaiserBesselWindow(20.0, 0.75))
+
+    def test_demod_never_zero(self):
+        plan = NufftPlan(512, window="digits10")
+        assert np.all(np.abs(plan.demod) > 0)
+
+    def test_kernel_values_shape(self):
+        plan = NufftPlan(64, window="digits6")
+        t = np.array([0.1, 0.9])
+        idx, vals = plan.kernel_values(t)
+        assert idx.shape == vals.shape == (2, 2 * plan.spread_width + 1)
+        assert np.all((idx >= 0) & (idx < plan.n_grid))
+
+    def test_points_out_of_range_rejected(self):
+        plan = NufftPlan(64, window="digits6")
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            plan.kernel_values(np.array([1.0]))
+
+    def test_describe(self):
+        assert "K=64" in NufftPlan(64, window="digits6").describe()
+
+
+class TestType1:
+    @pytest.mark.parametrize(
+        "preset,tol", [("full", 1e-12), ("digits10", 1e-9), ("digits6", 1e-5)]
+    )
+    def test_accuracy_ladder(self, preset, tol):
+        t, a = scatter(400, 1)
+        plan = NufftPlan(256, window=preset)
+        y = nufft1(t, a, plan)
+        ref = nudft1(t, a, 256)
+        assert np.linalg.norm(y - ref) / np.linalg.norm(ref) < tol
+
+    def test_uniform_points_reduce_to_dft(self):
+        """t_j = j/N makes the NUFFT an ordinary (shifted) DFT."""
+        n = 128
+        t = np.arange(n) / n
+        g = np.random.default_rng(2)
+        a = g.standard_normal(n) + 1j * g.standard_normal(n)
+        plan = NufftPlan(n, window="full")
+        y = nufft1(t, a, plan)
+        fftref = np.fft.fftshift(np.fft.fft(a))  # k = -n/2..n/2-1 ordering
+        np.testing.assert_allclose(y, fftref, atol=1e-9)
+
+    def test_single_mass(self):
+        """One unit mass at t0: y_k = exp(-2 pi i k t0) exactly."""
+        t0 = 0.3173
+        plan = NufftPlan(128, window="full")
+        y = nufft1(np.array([t0]), np.array([1.0 + 0j]), plan)
+        k = np.arange(-64, 64)
+        np.testing.assert_allclose(y, np.exp(-2j * np.pi * k * t0), atol=1e-12)
+
+    def test_linearity(self):
+        t, a = scatter(200, 3)
+        _, b = scatter(200, 4)
+        plan = NufftPlan(128, window="digits10")
+        lhs = nufft1(t, 2 * a + 1j * b, plan)
+        rhs = 2 * nufft1(t, a, plan) + 1j * nufft1(t, b, plan)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_kaiser_bessel_kernel(self):
+        """The compact-support (zero-alias) kernel also works."""
+        t, a = scatter(300, 5)
+        kb = KaiserBesselWindow(alpha=24.0, half_width=0.75)
+        plan = NufftPlan(256, window=kb, spread_width=12)
+        y = nufft1(t, a, plan)
+        ref = nudft1(t, a, 256)
+        assert np.linalg.norm(y - ref) / np.linalg.norm(ref) < 1e-6
+
+    def test_input_validation(self):
+        plan = NufftPlan(64, window="digits6")
+        with pytest.raises(ValueError, match="equal-length"):
+            nufft1(np.array([0.1, 0.2]), np.array([1.0 + 0j]), plan)
+
+
+class TestType2:
+    @pytest.mark.parametrize(
+        "preset,tol", [("full", 1e-12), ("digits10", 1e-9), ("digits6", 1e-5)]
+    )
+    def test_accuracy_ladder(self, preset, tol):
+        g = np.random.default_rng(6)
+        t = g.random(300)
+        c = g.standard_normal(256) + 1j * g.standard_normal(256)
+        plan = NufftPlan(256, window=preset)
+        f = nufft2(t, c, plan)
+        ref = nudft2(t, c, 256)
+        assert np.linalg.norm(f - ref) / np.linalg.norm(ref) < tol
+
+    def test_single_mode(self):
+        """c = delta at mode k0: f_j = exp(2 pi i k0 t_j) exactly."""
+        plan = NufftPlan(128, window="full")
+        c = np.zeros(128, dtype=complex)
+        k0 = 17  # index 64 + 17 in the -K/2..K/2-1 layout
+        c[64 + k0] = 1.0
+        g = np.random.default_rng(7)
+        t = g.random(50)
+        f = nufft2(t, c, plan)
+        np.testing.assert_allclose(f, np.exp(2j * np.pi * k0 * t), atol=1e-12)
+
+    def test_adjoint_identity(self):
+        """<nufft2(c), a> == <c, conj-pattern of nufft1(a)> — type 2 is
+        the adjoint of type 1 in these sign conventions."""
+        g = np.random.default_rng(8)
+        t = g.random(150)
+        a = g.standard_normal(150) + 1j * g.standard_normal(150)
+        c = g.standard_normal(128) + 1j * g.standard_normal(128)
+        plan = NufftPlan(128, window="full")
+        lhs = np.vdot(nufft2(t, c, plan), a)  # sum conj(f_j) a_j
+        rhs = np.vdot(c, nufft1(t, a, plan))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_mode_count_validation(self):
+        plan = NufftPlan(64, window="digits6")
+        with pytest.raises(ValueError, match="modes"):
+            nufft2(np.array([0.5]), np.zeros(32, dtype=complex), plan)
+
+
+class TestDirectReferences:
+    def test_nudft_roundtrip_consistency(self):
+        """nudft2 of nudft1 on uniform points is N * identity-ish (the
+        direct pair is each other's adjoint, not inverse — just verify
+        both against a brute-force loop)."""
+        g = np.random.default_rng(9)
+        t = g.random(20)
+        a = g.standard_normal(20) + 1j * g.standard_normal(20)
+        k_modes = 16
+        y = nudft1(t, a, k_modes)
+        brute = np.array(
+            [
+                sum(a[j] * np.exp(-2j * np.pi * k * t[j]) for j in range(20))
+                for k in range(-8, 8)
+            ]
+        )
+        np.testing.assert_allclose(y, brute, atol=1e-11)

@@ -1,0 +1,47 @@
+"""Tests for the all-gather strawman baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_complex
+from repro.core import snr_db
+from repro.parallel import allgather_fft_distributed, split_blocks
+from repro.simmpi import run_spmd
+
+
+def run_allgather(n, nranks, seed=0):
+    x = random_complex(n, seed)
+    blocks = split_blocks(x, nranks)
+    res = run_spmd(
+        nranks, lambda comm: allgather_fft_distributed(comm, blocks[comm.rank], n)
+    )
+    return x, np.concatenate(res.values), res.stats
+
+
+class TestAllgatherFft:
+    def test_correct_and_in_order(self):
+        x, y, _ = run_allgather(1024, 4)
+        assert snr_db(y, np.fft.fft(x)) > 290.0
+
+    def test_traffic_scales_with_rank_count(self):
+        """The reason this approach is a strawman: O(R*N) traffic."""
+        n = 1024
+        _, _, s2 = run_allgather(n, 2, seed=1)
+        _, _, s4 = run_allgather(n, 4, seed=1)
+        # off-node bytes: R*(R-1)*N/R*16 = (R-1)*N*16
+        assert s2.stats if False else True
+        assert s2.phase("allgather").offnode_bytes() == 1 * n * 16
+        assert s4.phase("allgather").offnode_bytes() == 3 * n * 16
+
+    def test_moves_more_than_standard_beyond_four_ranks(self, full_plan):
+        """(R-1) N > 3 N for R > 4: worse than even triple-transpose."""
+        n = 1024
+        _, _, stats = run_allgather(n, 8, seed=2)
+        assert stats.phase("allgather").offnode_bytes() > 3 * n * 16
+
+    def test_validation(self):
+        def prog(comm):
+            return allgather_fft_distributed(comm, np.zeros(3, dtype=complex), 1024)
+
+        with pytest.raises(Exception, match="local samples"):
+            run_spmd(2, prog, timeout=5)

@@ -1,0 +1,101 @@
+"""Tests for the Section-7.4 weak-scaling time model."""
+
+import pytest
+
+from repro.cluster import LIBRARY_PROFILES, cluster
+from repro.perf import WeakScalingModel
+
+
+def make_model(lib="SOI", fabric_name="endeavor", **kw):
+    spec = cluster(fabric_name)
+    return WeakScalingModel(
+        profile=LIBRARY_PROFILES[lib], fabric=spec.fabric, node=spec.node, **kw
+    )
+
+
+class TestComponents:
+    def test_fft_time_grows_logarithmically(self):
+        m = make_model("MKL")
+        t1, t64 = m.fft_time(1), m.fft_time(64)
+        # weak scaling: per-node time grows like log2(n): +6/28 relative
+        assert t64 / t1 == pytest.approx((28 + 6) / 28, rel=0.01)
+
+    def test_conv_time_constant_in_nodes(self):
+        """Section 7.4: T_conv(n) roughly constant under weak scaling."""
+        m = make_model("SOI")
+        assert m.conv_time() == m.conv_time()
+        b = m.breakdown(4).t_conv
+        assert m.breakdown(64).t_conv == b
+
+    def test_conv_time_zero_for_baselines(self):
+        assert make_model("MKL").breakdown(8).t_conv == 0.0
+
+    def test_conv_time_scales_with_b(self):
+        t72 = make_model("SOI", b=72).conv_time()
+        t36 = make_model("SOI", b=36).conv_time()
+        assert t72 == pytest.approx(2 * t36)
+
+    def test_conv_c_knob(self):
+        lo = make_model("SOI", conv_c=0.75).conv_time()
+        hi = make_model("SOI", conv_c=1.25).conv_time()
+        assert hi == pytest.approx(lo * 1.25 / 0.75)
+
+    def test_comm_time_counts_alltoalls(self):
+        soi = make_model("SOI").comm_time(8)
+        mkl = make_model("MKL").comm_time(8)
+        # MKL: 3 exchanges of N vs SOI: 1 exchange of 1.25 N.
+        assert mkl / soi == pytest.approx(3.0 / 1.25, rel=1e-6)
+
+    def test_halo_negligible(self):
+        """Fig. 4: halo 'typically less than 0.01% of M'."""
+        bd = make_model("SOI").breakdown(32)
+        assert bd.t_halo < 0.001 * bd.t_comm
+
+    def test_single_node_no_comm(self):
+        bd = make_model("SOI").breakdown(1)
+        assert bd.t_comm == 0.0 and bd.t_halo == 0.0
+
+
+class TestPaperStructuralClaims:
+    def test_conv_time_about_equals_fft_time(self):
+        """Section 7.4: 'the total convolution time in SOI is about the
+        same as that of the FFT computation time within it' — the 4x
+        flops at 4x the efficiency."""
+        m = make_model("SOI", b=72)
+        bd = m.breakdown(32)
+        assert 0.5 < bd.t_conv / bd.t_fft < 2.0
+
+    def test_soi_about_twice_the_compute_of_plain_fft(self):
+        """Section 7.4: 'our full-accuracy SOI implementation takes about
+        twice, not five times, as much computation time'."""
+        soi = make_model("SOI", b=72).breakdown(32)
+        mkl = make_model("MKL").breakdown(32)
+        ratio = (soi.t_fft + soi.t_conv) / mkl.t_fft
+        assert 1.6 < ratio < 2.8
+
+    def test_communication_dominates_for_baseline(self):
+        """Section 1: all-to-alls are '50% to over 90%' of running time."""
+        mkl = make_model("MKL")
+        assert 0.5 < mkl.breakdown(16).comm_fraction < 0.95
+
+    def test_gflops_metric(self):
+        bd = make_model("MKL").breakdown(4)
+        import math
+
+        n = bd.n_total
+        expected = 5 * n * math.log2(n) / bd.total / 1e9
+        assert bd.gflops == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_bad_nodes(self):
+        with pytest.raises(ValueError):
+            make_model().breakdown(0)
+
+    def test_bad_points(self):
+        with pytest.raises(ValueError):
+            make_model(points_per_node=0)
+
+    def test_bad_conv_c(self):
+        with pytest.raises(ValueError):
+            make_model(conv_c=3.0)

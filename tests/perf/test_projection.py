@@ -1,0 +1,68 @@
+"""Tests for the Fig. 9 projection (paper-literal Section 7.4 model)."""
+
+import pytest
+
+from repro.perf import ProjectionModel, projection_curve
+
+
+class TestProjectionModel:
+    def test_alpha_calibration(self):
+        """T_fft(1) must reproduce alpha * log2(2^28) by construction."""
+        m = ProjectionModel()
+        assert m.t_fft(1) == pytest.approx(m.alpha * 28.0)
+
+    def test_tmpi_zero_on_one_node(self):
+        assert ProjectionModel().t_mpi(1) == 0.0
+
+    def test_local_channel_bound_small_n(self):
+        """Paper: local channels bind for n <= 128."""
+        m = ProjectionModel()
+        # In the local regime per-node time is constant.
+        assert m.t_mpi(16) == pytest.approx(m.t_mpi(128), rel=1e-9)
+
+    def test_bisection_bound_large_n(self):
+        """Beyond the local regime the torus bisection dominates and
+        per-node time grows like n^(1/3)."""
+        m = ProjectionModel()
+        t1k = m.t_mpi(1024)
+        t8k = m.t_mpi(8 * 1024)
+        assert t8k / t1k == pytest.approx(2.0, rel=0.05)  # 8^(1/3)
+
+    def test_conv_time_positive_constant(self):
+        m = ProjectionModel()
+        assert m.t_conv() > 0
+
+    def test_speedup_below_three(self):
+        """3 is the unreachable all-to-all-count bound."""
+        m = ProjectionModel()
+        for n in (16, 256, 4096, 16384):
+            assert m.speedup(n) < 3.0
+
+    def test_speedup_grows_with_scale(self):
+        """Fig. 9: projected speedup rises toward Jaguar-scale n."""
+        m = ProjectionModel()
+        s = [m.speedup(n) for n in (128, 1024, 4096, 16384)]
+        assert all(b > a for a, b in zip(s, s[1:]))
+        assert s[-1] > 1.5
+
+    def test_c_band_ordering(self):
+        """Smaller c (faster convolution) gives larger speedup."""
+        m = ProjectionModel()
+        assert m.speedup(4096, c=0.75) > m.speedup(4096, c=1.0) > m.speedup(4096, c=1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProjectionModel().t_fft(0.5)
+
+
+class TestProjectionCurve:
+    def test_curves_keyed_by_c(self):
+        curves = projection_curve([16, 1024, 16384])
+        assert set(curves) == {0.75, 1.0, 1.25}
+        assert all(len(v) == 3 for v in curves.values())
+
+    def test_band_width_is_meaningful(self):
+        """The c in [0.75, 1.25] band must visibly separate (Fig. 9 shows
+        an envelope, not a line)."""
+        curves = projection_curve([2048])
+        assert curves[0.75][0] - curves[1.25][0] > 0.05

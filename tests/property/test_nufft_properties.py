@@ -1,0 +1,72 @@
+"""Property-based tests for the NUFFT built on the SOI window machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nufft import NufftPlan, nudft1, nufft1, nufft2
+
+PLAN = NufftPlan(128, window="digits10")
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t0=st.floats(0.0, 0.999999), seed=seeds)
+def test_single_mass_phase_identity(t0, seed):
+    """One unit mass at any t0: y_k = exp(-2*pi*i*k*t0) exactly —
+    the defining property of the transform, for arbitrary offsets
+    (including points far from any grid node)."""
+    y = nufft1(np.array([t0]), np.array([1.0 + 0j]), PLAN)
+    k = np.arange(-64, 64)
+    np.testing.assert_allclose(y, np.exp(-2j * np.pi * k * t0), atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 200), seed=seeds)
+def test_matches_direct_sum(n, seed):
+    g = np.random.default_rng(seed)
+    t = g.random(n)
+    a = g.standard_normal(n) + 1j * g.standard_normal(n)
+    y = nufft1(t, a, PLAN)
+    ref = nudft1(t, a, PLAN.k_modes)
+    scale = max(float(np.linalg.norm(ref)), 1e-30)
+    assert np.linalg.norm(y - ref) / scale < 1e-8
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_translation_covariance(seed):
+    """Shifting every point by s multiplies mode k by exp(-2*pi*i*k*s)."""
+    g = np.random.default_rng(seed)
+    t = g.random(50) * 0.5  # keep t + s inside [0, 1)
+    a = g.standard_normal(50) + 1j * g.standard_normal(50)
+    s = 0.25
+    y0 = nufft1(t, a, PLAN)
+    y1 = nufft1(t + s, a, PLAN)
+    k = np.arange(-64, 64)
+    np.testing.assert_allclose(y1, y0 * np.exp(-2j * np.pi * k * s), atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_adjoint_identity(seed):
+    """<nufft2(c), a> == <c, nufft1(a)> for arbitrary data."""
+    g = np.random.default_rng(seed)
+    t = g.random(80)
+    a = g.standard_normal(80) + 1j * g.standard_normal(80)
+    c = g.standard_normal(128) + 1j * g.standard_normal(128)
+    lhs = np.vdot(nufft2(t, c, PLAN), a)
+    rhs = np.vdot(c, nufft1(t, a, PLAN))
+    assert abs(lhs - rhs) < 1e-7 * max(abs(rhs), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, scale=st.floats(1e-3, 1e3))
+def test_homogeneity(seed, scale):
+    g = np.random.default_rng(seed)
+    t = g.random(40)
+    a = g.standard_normal(40) + 1j * g.standard_normal(40)
+    np.testing.assert_allclose(
+        nufft1(t, scale * a, PLAN), scale * nufft1(t, a, PLAN), rtol=1e-10
+    )

@@ -1,0 +1,71 @@
+"""Property-based tests for stride permutations and bit reversal."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrices import stride_permutation_indices
+from repro.utils import bit_reverse_indices
+
+
+@st.composite
+def ell_n_pairs(draw):
+    ell = draw(st.integers(1, 16))
+    mult = draw(st.integers(1, 16))
+    return ell, ell * mult
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=ell_n_pairs())
+def test_stride_permutation_is_bijection(pair):
+    ell, n = pair
+    idx = stride_permutation_indices(ell, n)
+    assert sorted(idx) == list(range(n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=ell_n_pairs())
+def test_stride_permutation_inverse(pair):
+    ell, n = pair
+    a = stride_permutation_indices(ell, n)
+    b = stride_permutation_indices(n // ell, n)
+    v = np.arange(n)
+    np.testing.assert_array_equal(v[a][b], v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=ell_n_pairs())
+def test_stride_permutation_definition(pair):
+    """w[k + j*(n/ell)] == v[j + k*ell] for all j, k (Section 5)."""
+    ell, n = pair
+    idx = stride_permutation_indices(ell, n)
+    v = np.arange(n)
+    w = v[idx]
+    j = np.repeat(np.arange(ell), n // ell)
+    k = np.tile(np.arange(n // ell), ell)
+    np.testing.assert_array_equal(w[k + j * (n // ell)], v[j + k * ell])
+
+
+@settings(max_examples=30, deadline=None)
+@given(logn=st.integers(0, 12))
+def test_bit_reversal_involution(logn):
+    n = 1 << logn
+    rev = bit_reverse_indices(n)
+    np.testing.assert_array_equal(rev[rev], np.arange(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(logn=st.integers(1, 12))
+def test_bit_reversal_is_bijection(logn):
+    n = 1 << logn
+    assert sorted(bit_reverse_indices(n)) == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(logn=st.integers(1, 10))
+def test_bit_reversal_fixed_points(logn):
+    """0 and n-1 (all-zeros / all-ones patterns) are always fixed."""
+    n = 1 << logn
+    rev = bit_reverse_indices(n)
+    assert rev[0] == 0
+    assert rev[n - 1] == n - 1

@@ -1,0 +1,87 @@
+"""Property-based tests for the SOI pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SoiPlan, snr_db, soi_fft, soi_segment
+from repro.core.soi import soi_convolve
+
+# Reuse one plan across examples (construction is the expensive part).
+PLAN = SoiPlan(n=2048, p=4, window="digits8")
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def vec(seed, n=PLAN.n):
+    g = np.random.default_rng(seed)
+    return g.standard_normal(n) + 1j * g.standard_normal(n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_soi_accuracy_for_arbitrary_data(seed):
+    x = vec(seed)
+    assert snr_db(soi_fft(x, PLAN), np.fft.fft(x)) > 150.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, a=st.floats(-3, 3), b=st.floats(-3, 3))
+def test_soi_linearity(seed, a, b):
+    x, y = vec(seed), vec(seed + 1)
+    lhs = soi_fft(a * x + 1j * b * y, PLAN)
+    rhs = a * soi_fft(x, PLAN) + 1j * b * soi_fft(y, PLAN)
+    scale = max(float(np.max(np.abs(rhs))), 1.0)
+    assert np.max(np.abs(lhs - rhs)) < 1e-9 * scale
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_convolution_linearity(seed):
+    x, y = vec(seed), vec(seed + 2)
+    lhs = soi_convolve(x + 2j * y, PLAN)
+    rhs = soi_convolve(x, PLAN) + 2j * soi_convolve(y, PLAN)
+    assert np.max(np.abs(lhs - rhs)) < 1e-10 * max(float(np.max(np.abs(rhs))), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, s=st.integers(0, PLAN.p - 1))
+def test_segment_consistency(seed, s):
+    """Any segment computed alone matches the full transform's slice."""
+    x = vec(seed)
+    seg = soi_segment(x, PLAN, s)
+    full = soi_fft(x, PLAN)[PLAN.segment_slice(s)]
+    assert snr_db(seg, full) > 140.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, shift=st.integers(1, PLAN.p - 1))
+def test_segment_shift_identity(seed, shift):
+    """Section 5: y^(s) of x equals y^(0) of Phi_s x."""
+    x = vec(seed)
+    omega = np.exp(-2j * np.pi * shift * np.arange(PLAN.p) / PLAN.p)
+    modulated = x * np.tile(omega, PLAN.m)
+    a = soi_segment(x, PLAN, shift)
+    b = soi_segment(modulated, PLAN, 0)
+    assert snr_db(a, b) > 200.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_parseval_within_window_error(seed):
+    x = vec(seed)
+    y = soi_fft(x, PLAN)
+    lhs = float(np.sum(np.abs(y) ** 2))
+    rhs = PLAN.n * float(np.sum(np.abs(x) ** 2))
+    assert lhs == pytest.approx(rhs, rel=1e-7)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, scale=st.floats(1e-6, 1e6))
+def test_scale_invariance_of_relative_error(seed, scale):
+    """Relative accuracy must not depend on input magnitude."""
+    x = vec(seed)
+    s1 = snr_db(soi_fft(x, PLAN), np.fft.fft(x))
+    s2 = snr_db(soi_fft(scale * x, PLAN), np.fft.fft(scale * x))
+    assert abs(s1 - s2) < 3.0

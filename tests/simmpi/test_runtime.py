@@ -1,0 +1,134 @@
+"""Tests for the SPMD launcher: results, failure semantics, isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.simmpi import InjectedFault, RankFailure, run_spmd
+
+
+class TestResults:
+    def test_values_ordered_by_rank(self):
+        res = run_spmd(4, lambda comm: comm.rank * 2)
+        assert res.values == [0, 2, 4, 6]
+
+    def test_result_indexing_and_iteration(self):
+        res = run_spmd(3, lambda comm: comm.rank)
+        assert res[2] == 2
+        assert list(res) == [0, 1, 2]
+
+    def test_extra_args_forwarded(self):
+        res = run_spmd(2, lambda comm, a, b=0: (comm.rank, a, b), 7, b=9)
+        assert res.values == [(0, 7, 9), (1, 7, 9)]
+
+    def test_single_rank_world(self):
+        assert run_spmd(1, lambda comm: comm.allreduce(5)).values == [5]
+
+    def test_threads_really_run_concurrently(self):
+        """Ranks must not be serialised: a rendezvous between two ranks
+        can only complete if both are alive at once."""
+        barrier = threading.Barrier(2, timeout=10)
+
+        def prog(comm):
+            barrier.wait()
+            return True
+
+        assert run_spmd(2, prog).values == [True, True]
+
+
+class TestFailurePropagation:
+    def test_original_exception_surfaces(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise KeyError("boom")
+            comm.barrier()
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(3, prog, timeout=5)
+        assert info.value.rank == 2
+        assert isinstance(info.value.original, KeyError)
+
+    def test_blocked_ranks_unwind(self):
+        """Ranks stuck in recv must not hang the whole run."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.recv(source=0)
+
+        with pytest.raises(RankFailure):
+            run_spmd(3, prog, timeout=30)  # must return well before timeout
+
+    def test_barrier_unwinds_on_failure(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("x")
+            comm.barrier()
+
+        with pytest.raises(RankFailure):
+            run_spmd(2, prog, timeout=30)
+
+    def test_root_cause_preferred_over_secondary_aborts(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ZeroDivisionError("root cause")
+            comm.recv(source=1)
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, prog, timeout=5)
+        assert isinstance(info.value.original, ZeroDivisionError)
+
+
+class TestFaultInjection:
+    def test_payload_corruption_hook(self):
+        def corrupt(src, dst, tag, payload):
+            if isinstance(payload, np.ndarray):
+                return payload * 0
+            return payload
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(4), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        res = run_spmd(2, prog, fault_hook=corrupt)
+        np.testing.assert_array_equal(res[1], np.zeros(4))
+
+    def test_raising_hook_aborts_run(self):
+        def killer(src, dst, tag, payload):
+            raise InjectedFault("link down")
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, prog, fault_hook=killer, timeout=5)
+        assert isinstance(info.value.original, InjectedFault)
+
+    def test_selective_fault_only_affects_target_link(self):
+        def drop_0_to_1(src, dst, tag, payload):
+            if (src, dst) == (0, 1) and tag >= 0:
+                raise InjectedFault("0->1 cut")
+            return payload
+
+        def prog(comm):  # only uses 1 -> 0
+            if comm.rank == 1:
+                comm.send("ok", dest=0)
+                return None
+            return comm.recv(source=1)
+
+        res = run_spmd(2, prog, fault_hook=drop_0_to_1)
+        assert res[0] == "ok"
+
+
+class TestStatsIsolation:
+    def test_each_run_gets_fresh_stats(self):
+        res1 = run_spmd(2, lambda comm: comm.alltoall([1, 2]))
+        res2 = run_spmd(2, lambda comm: comm.rank)
+        assert res1.stats.alltoall_rounds == 1
+        assert res2.stats.alltoall_rounds == 0

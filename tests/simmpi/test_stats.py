@@ -1,0 +1,102 @@
+"""Tests for byte-accurate traffic accounting."""
+
+import numpy as np
+
+from repro.simmpi import TrafficStats, run_spmd
+
+
+class TestByteAccounting:
+    def test_numpy_bytes_counted_exactly(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.complex128), dest=1)
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(2, prog)
+        assert res.stats.phase("default").bytes_by_pair[(0, 1)] == 1600
+
+    def test_offnode_excludes_self_sends(self):
+        def prog(comm):
+            return comm.alltoall(
+                [np.zeros(10, dtype=np.float64) for _ in range(comm.size)]
+            )
+
+        res = run_spmd(2, prog)
+        ph = res.stats.phase("default")
+        # each rank: 1 off-node (80 B) + 1 self (80 B)
+        assert ph.offnode_bytes() == 160
+        assert ph.total_bytes == 320
+
+    def test_max_pair_bytes(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(4), dest=1)
+                comm.send(np.zeros(100), dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+                comm.recv(source=0)
+
+        res = run_spmd(2, prog)
+        assert res.stats.phase("default").max_pair_bytes() == 832  # 32 + 800
+
+
+class TestPhases:
+    def test_phase_labels_partition_traffic(self):
+        def prog(comm):
+            dst = 1 - comm.rank
+            with comm.phase("alpha"):
+                comm.send(np.zeros(2), dest=dst)
+                comm.recv(source=dst)
+            with comm.phase("beta"):
+                comm.send(np.zeros(4), dest=dst)
+                comm.recv(source=dst)
+
+        res = run_spmd(2, prog)
+        assert res.stats.phase("alpha").total_bytes == 2 * 16
+        assert res.stats.phase("beta").total_bytes == 2 * 32
+        assert sorted(res.stats.phases()) == ["alpha", "beta"]
+
+    def test_nested_phases_restore(self):
+        def prog(comm):
+            dst = 1 - comm.rank
+            with comm.phase("outer"):
+                with comm.phase("inner"):
+                    comm.send(b"xx", dest=dst)
+                    comm.recv(source=dst)
+                comm.send(b"yyyy", dest=dst)
+                comm.recv(source=dst)
+
+        res = run_spmd(2, prog)
+        assert res.stats.phase("inner").total_bytes == 4
+        assert res.stats.phase("outer").total_bytes == 8
+
+    def test_alltoall_round_counted_once_per_collective(self):
+        def prog(comm):
+            with comm.phase("x"):
+                comm.alltoall([0] * comm.size)
+                comm.alltoall([1] * comm.size)
+
+        res = run_spmd(4, prog)
+        assert res.stats.phase("x").alltoall_rounds == 2
+        assert res.stats.alltoall_rounds == 2
+
+
+class TestSummary:
+    def test_summary_mentions_phases(self):
+        def prog(comm):
+            with comm.phase("transpose-1"):
+                comm.alltoall([np.zeros(1) for _ in range(comm.size)])
+
+        res = run_spmd(2, prog)
+        text = res.stats.summary()
+        assert "transpose-1" in text
+        assert "all-to-all" in text
+
+    def test_standalone_stats_object(self):
+        stats = TrafficStats()
+        stats.record_message("p", 0, 1, 100)
+        stats.record_message("p", 1, 1, 50)
+        assert stats.phase("p").total_bytes == 150
+        assert stats.phase("p").offnode_bytes() == 100
+        assert stats.total_bytes == 150

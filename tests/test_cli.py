@@ -1,0 +1,58 @@
+"""Tests for the `python -m repro` figure-regeneration CLI."""
+
+import pytest
+
+from repro.__main__ import SECTIONS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig5", "fig9"):
+            assert name in out
+
+    def test_table1_section(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "330" in out
+
+    def test_snr_section(self, capsys):
+        assert main(["snr"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 7.2" in out
+        assert "SOI" in out
+
+    def test_traffic_section(self, capsys):
+        assert main(["traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "all-to-all rounds" in out
+
+    def test_fig9_section(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "c=0.75" in out
+
+    def test_model_figures(self, capsys):
+        assert main(["fig5", "fig6", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out and "Figure 8" in out
+        assert "speedup SOI over MKL" in out
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig42"])
+
+    def test_all_section_names_registered(self):
+        assert set(SECTIONS) == {
+            "table1",
+            "snr",
+            "traffic",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        }
