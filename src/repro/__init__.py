@@ -38,7 +38,12 @@ try:
         soi_segment,
         snr_db,
     )
-    from .simmpi import run_spmd  # noqa: F401
+    from .simmpi import (  # noqa: F401
+        ChaosSchedule,
+        FaultPlan,
+        TransportPolicy,
+        run_spmd,
+    )
     from .parallel import soi_fft_distributed, transpose_fft_distributed  # noqa: F401
 
     __all__ += [
@@ -52,6 +57,9 @@ try:
         "soi_segment",
         "snr_db",
         "run_spmd",
+        "ChaosSchedule",
+        "FaultPlan",
+        "TransportPolicy",
         "soi_fft_distributed",
         "transpose_fft_distributed",
     ]

@@ -17,7 +17,13 @@ from .distribution import (
     scatter_blocks,
     split_blocks,
 )
-from .soi_dist import soi_fft_distributed, soi_ifft_distributed, soi_rank_layout
+from .selfcheck import parseval_check, verified_alltoall, verified_sendrecv
+from .soi_dist import (
+    soi_fft_distributed,
+    soi_ifft_distributed,
+    soi_rank_layout,
+    soi_verify_tolerance,
+)
 from .transpose import choose_grid, distributed_transpose, transpose_fft_distributed
 
 __all__ = [
@@ -27,9 +33,13 @@ __all__ = [
     "concat_result",
     "scatter_blocks",
     "split_blocks",
+    "parseval_check",
+    "verified_alltoall",
+    "verified_sendrecv",
     "soi_fft_distributed",
     "soi_ifft_distributed",
     "soi_rank_layout",
+    "soi_verify_tolerance",
     "choose_grid",
     "distributed_transpose",
     "transpose_fft_distributed",

@@ -1,0 +1,147 @@
+"""Algorithm-level self-verification for the distributed FFTs.
+
+The reliable transport (:class:`repro.simmpi.TransportPolicy`) guards
+individual channels; this module guards the *algorithm*: after each
+global exchange the participants cross-check per-slice CRC32 checksums
+and re-exchange only the corrupted slices (an uneven exchange —
+:meth:`Communicator.alltoallv`), and the final output is screened
+against the plan's modelled accuracy via Parseval's identity.  A
+corrupted result is either repaired or reported as a typed
+:class:`~repro.simmpi.errors.VerificationError` — never returned
+silently.
+
+The verification traffic is labelled with its own ``"verify"`` phase,
+so benchmarks can price it: SOI verifies ONE all-to-all where the
+six-step baseline verifies THREE — the paper's communication advantage
+extends to the cost of making the exchange trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simmpi.comm import Communicator, payload_checksum
+from ..simmpi.errors import VerificationError
+
+__all__ = [
+    "verified_alltoall",
+    "verified_sendrecv",
+    "parseval_check",
+]
+
+#: Default bound on checksum/repair rounds per exchange.
+DEFAULT_VERIFY_ROUNDS = 3
+
+
+def verified_alltoall(
+    comm: Communicator,
+    sendbufs: list[np.ndarray],
+    rounds: int = DEFAULT_VERIFY_ROUNDS,
+) -> list[np.ndarray]:
+    """All-to-all whose slices are checksummed and selectively repaired.
+
+    After the data exchange, every pair exchanges the CRC32 of the slice
+    it sent; receivers recompute checksums and, for mismatched slices
+    only, request retransmission (flags via a small all-to-all, payloads
+    via ``alltoallv`` with per-pair counts of 0 or 1 — the uneven
+    collective).  Bounded by *rounds* repair attempts, after which a
+    :class:`VerificationError` is raised collectively.
+    """
+    r = comm.size
+    pieces = list(comm.alltoall(sendbufs))
+    with comm.phase("verify"):
+        crcs = [payload_checksum(b) for b in sendbufs]
+        expected = comm.alltoall(crcs)  # expected[s]: CRC rank s computed for my slice
+        for attempt in range(rounds + 1):
+            bad = [
+                s
+                for s in range(r)
+                if s != comm.rank and payload_checksum(pieces[s]) != expected[s]
+            ]
+            total_bad = comm.allreduce(len(bad))
+            if total_bad == 0:
+                return pieces
+            if attempt == rounds:
+                break
+            # requests[d]: does rank d need my slice again?
+            requests = comm.alltoall([d in bad for d in range(r)])
+            resend = [
+                sendbufs[d] if (d != comm.rank and requests[d]) else None
+                for d in range(r)
+            ]
+            fixes = comm.alltoallv(resend, sources=bad)
+            for s in bad:
+                pieces[s] = fixes[s]
+    raise VerificationError(
+        f"rank {comm.rank}: {total_bad} all-to-all slices world-wide still "
+        f"corrupt after {rounds} repair rounds (mine: {bad})"
+    )
+
+
+def verified_sendrecv(
+    comm: Communicator,
+    obj: np.ndarray,
+    dest: int,
+    source: int,
+    rounds: int = DEFAULT_VERIFY_ROUNDS,
+) -> np.ndarray:
+    """``sendrecv`` with checksum confirmation and bounded re-exchange.
+
+    Collective: every rank of the communicator must participate (the
+    halo pattern — each rank sends *obj* to *dest* and receives the
+    symmetric message from *source*).  Each repair round is terminated
+    by a world-wide agreement (allreduce of outstanding mismatches), so
+    clean pairs stay in lockstep with repairing ones instead of
+    deadlocking their neighbours.
+    """
+    got = comm.sendrecv(obj, dest=dest, source=source)
+    with comm.phase("verify"):
+        expected = comm.sendrecv(payload_checksum(obj), dest=dest, source=source)
+        for attempt in range(rounds + 1):
+            i_need = payload_checksum(got) != expected
+            total_bad = comm.allreduce(int(i_need))
+            if total_bad == 0:
+                return got
+            if attempt == rounds:
+                break
+            # Tell my data source whether I need a resend; learn whether
+            # my destination needs one from me.
+            peer_needs = comm.sendrecv(i_need, dest=source, source=dest)
+            if peer_needs:
+                comm.send(obj, dest=dest)
+            if i_need:
+                got = comm.recv(source=source)
+    raise VerificationError(
+        f"rank {comm.rank}: {total_bad} halo payloads world-wide still "
+        f"corrupt after {rounds} re-exchanges"
+    )
+
+
+def parseval_check(
+    comm: Communicator,
+    input_energy_local: float,
+    y_local: np.ndarray,
+    n: int,
+    tol: float,
+    what: str,
+) -> None:
+    """Cross-check output energy against Parseval's identity.
+
+    For an exact DFT, ``sum |y|^2 = N * sum |x|^2``; the distributed
+    output must satisfy it to within *tol* (derived from the plan's
+    modelled accuracy — the paper's SNR bound).  A statistical backstop
+    behind the per-slice checksums: it catches corruption that slipped
+    in before any checksummed exchange (e.g. a damaged halo on the raw
+    substrate).
+    """
+    with comm.phase("verify"):
+        e_in = comm.allreduce(float(input_energy_local))
+        e_out = comm.allreduce(float(np.sum(np.abs(y_local) ** 2)))
+    if e_in == 0.0:
+        return  # zero input: any exact algorithm returns zeros; nothing to bound
+    rel = abs(e_out - n * e_in) / (n * e_in)
+    if not rel <= tol:  # also catches NaN
+        raise VerificationError(
+            f"{what}: Parseval check failed — relative energy error "
+            f"{rel:.3e} exceeds the modelled accuracy bound {tol:.3e}"
+        )

@@ -29,12 +29,39 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.accuracy import error_budget
 from ..core.plan import SoiPlan
 from ..dft.backends import FftBackend, get_backend
 from ..simmpi.comm import Communicator
 from ..utils import require
+from .selfcheck import (
+    DEFAULT_VERIFY_ROUNDS,
+    parseval_check,
+    verified_alltoall,
+    verified_sendrecv,
+)
 
-__all__ = ["soi_fft_distributed", "soi_ifft_distributed", "soi_rank_layout"]
+__all__ = [
+    "soi_fft_distributed",
+    "soi_ifft_distributed",
+    "soi_rank_layout",
+    "soi_verify_tolerance",
+]
+
+
+def soi_verify_tolerance(plan: SoiPlan) -> float:
+    """Parseval tolerance for ``verify=True``, from the plan's error model.
+
+    The Section-4 budget bounds the relative output error; the relative
+    *energy* error is roughly twice that.  A generous safety factor
+    keeps honest runs far from the bound while corrupted outputs (which
+    blow the energy by orders of magnitude) still trip it.
+    """
+    try:
+        budget = error_budget(plan)["modelled_relative_error"]
+    except ValueError:
+        return 1e-8  # bare-window plan: no model, fall back to a loose screen
+    return max(1e-12, 100.0 * budget)
 
 
 def soi_rank_layout(plan: SoiPlan, nranks: int) -> dict[str, int]:
@@ -73,11 +100,22 @@ def soi_fft_distributed(
     x_local: np.ndarray,
     plan: SoiPlan,
     backend: str | FftBackend = "numpy",
+    verify: bool = False,
+    verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
 ) -> np.ndarray:
     """SPMD SOI FFT: each rank passes its block, receives its output block.
 
     Must be called collectively by all ranks of *comm* with a plan whose
     ``p`` is a multiple of ``comm.size``.
+
+    With ``verify=True`` the transform self-checks (phase ``verify`` in
+    the traffic stats): the halo and every all-to-all slice are
+    confirmed by CRC32 exchange with selective retransmission of
+    corrupted pieces, and the output energy is screened against the
+    plan's modelled accuracy (Parseval) — SOI pays this for its ONE
+    global exchange where the six-step baseline pays it three times.
+    Raises :class:`~repro.simmpi.errors.VerificationError` instead of
+    returning a corrupted result.
     """
     be = get_backend(backend)
     layout = soi_rank_layout(plan, comm.size)
@@ -95,6 +133,11 @@ def soi_fft_distributed(
         right = (comm.rank + 1) % comm.size
         if comm.size == 1:
             halo = vec[: plan.halo].copy()
+        elif verify:
+            halo = verified_sendrecv(
+                comm, vec[: plan.halo].copy(), dest=left, source=right,
+                rounds=verify_rounds,
+            )
         else:
             halo = comm.sendrecv(vec[: plan.halo].copy(), dest=left, source=right)
     xe = np.concatenate([vec, halo])
@@ -118,7 +161,10 @@ def soi_fft_distributed(
             np.ascontiguousarray(v[:, d * s_per : (d + 1) * s_per])
             for d in range(comm.size)
         ]
-        pieces = comm.alltoall(sendbufs)
+        if verify:
+            pieces = verified_alltoall(comm, sendbufs, rounds=verify_rounds)
+        else:
+            pieces = comm.alltoall(sendbufs)
     # pieces[src] holds rows [src*rows_per_rank, ...) for my segments.
     x_tilde = np.concatenate(pieces, axis=0)  # (M', S), column s' = segment
 
@@ -126,7 +172,17 @@ def soi_fft_distributed(
     segs = np.ascontiguousarray(x_tilde.T)  # (S, M')
     yt = be.fft(segs)
     y_local = yt[:, : plan.m] / plan.demod[None, :]
-    return y_local.reshape(block)
+    y_local = y_local.reshape(block)
+    if verify:
+        parseval_check(
+            comm,
+            float(np.sum(np.abs(vec) ** 2)),
+            y_local,
+            plan.n,
+            soi_verify_tolerance(plan),
+            "soi_fft_distributed",
+        )
+    return y_local
 
 
 def soi_ifft_distributed(
@@ -134,6 +190,8 @@ def soi_ifft_distributed(
     y_local: np.ndarray,
     plan: SoiPlan,
     backend: str | FftBackend = "numpy",
+    verify: bool = False,
+    verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
 ) -> np.ndarray:
     """Distributed inverse SOI transform (approximates ``ifft``).
 
@@ -144,5 +202,8 @@ def soi_ifft_distributed(
     :func:`soi_fft_distributed`.
     """
     vec = np.ascontiguousarray(y_local, dtype=np.complex128)
-    forward = soi_fft_distributed(comm, np.conj(vec), plan, backend=backend)
+    forward = soi_fft_distributed(
+        comm, np.conj(vec), plan, backend=backend,
+        verify=verify, verify_rounds=verify_rounds,
+    )
     return np.conj(forward) / plan.n

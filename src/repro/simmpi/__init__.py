@@ -7,20 +7,44 @@ SOI is its *communication structure* (one all-to-all vs three, tiny
 neighbour halo), which this substrate reproduces and measures exactly;
 cluster-scale wall-clock comes from the analytic interconnect models in
 :mod:`repro.cluster`, exactly as in the paper's own Section 7.4.
+
+The substrate is chaos-hardened: :mod:`repro.simmpi.faults` injects
+deterministic, seed-reproducible wire faults (drop/duplicate/delay/
+truncate/bitflip) and phase-boundary rank kills, and
+:class:`TransportPolicy` layers a reliable transport (checksums,
+sequence numbers, bounded retransmission with exponential backoff)
+whose recovery cost is itself recorded in :class:`TrafficStats`.
 """
 
-from .comm import Communicator, World
-from .errors import DeadlockError, InjectedFault, RankFailure, SimMpiError
+from .comm import Communicator, TransportPolicy, World
+from .errors import (
+    CorruptMessageError,
+    DeadlockError,
+    InjectedFault,
+    RankFailure,
+    RetryExhaustedError,
+    SimMpiError,
+    VerificationError,
+)
+from .faults import FAULT_KINDS, ChaosSchedule, FaultPlan, FaultSpec
 from .runtime import SpmdResult, run_spmd
 from .stats import PhaseTraffic, TrafficStats
 
 __all__ = [
     "Communicator",
     "World",
+    "TransportPolicy",
+    "CorruptMessageError",
     "DeadlockError",
     "InjectedFault",
     "RankFailure",
+    "RetryExhaustedError",
     "SimMpiError",
+    "VerificationError",
+    "FAULT_KINDS",
+    "ChaosSchedule",
+    "FaultPlan",
+    "FaultSpec",
     "SpmdResult",
     "run_spmd",
     "PhaseTraffic",

@@ -1,39 +1,75 @@
 """The simulated communicator: mpi4py-flavoured message passing on threads.
 
 Each rank runs in its own thread; messages travel through per-channel
-queues.  The API follows mpi4py's lower-case object interface (the
-style the hpc-parallel guides teach) restricted to what the FFT
-algorithms need: point-to-point ``send``/``recv``/``sendrecv``, and the
-collectives ``barrier``, ``bcast``, ``gather``, ``allgather``,
-``scatter``, ``alltoall``, ``reduce``, ``allreduce``.
+FIFO queues guarded by one world-wide condition variable (receivers
+block on the condition — no polling — and an abort on any rank wakes
+every blocked receiver immediately).  The API follows mpi4py's
+lower-case object interface restricted to what the FFT algorithms need:
+point-to-point ``send``/``recv``/``sendrecv``, and the collectives
+``barrier``, ``bcast``, ``gather``, ``allgather``, ``scatter``,
+``alltoall``, ``alltoallv``, ``reduce``, ``allreduce``.
 
 Every transfer is recorded in the shared :class:`TrafficStats`; NumPy
 payloads are counted by ``nbytes`` (they are handed over zero-copy —
 the *simulation* moves references, the *accounting* moves bytes).
 Receives carry a timeout so mismatched communication surfaces as a
 :class:`DeadlockError` instead of a hung test run.
+
+Robustness stack (all opt-in, see ``faults.py`` for the fault model):
+
+- a :class:`~repro.simmpi.faults.FaultPlan` on the :class:`World`
+  injects deterministic wire faults (drop/duplicate/delay/truncate/
+  bitflip) and phase-boundary rank kills;
+- a :class:`TransportPolicy` layers reliable delivery on top: every
+  payload travels in an envelope carrying a per-channel sequence number
+  and a CRC32 checksum; the receiver detects loss, corruption,
+  truncation, duplication and reordering, and requests bounded
+  retransmission with exponential backoff.  Recovery cost (retransmit
+  counts and bytes) is recorded in :class:`TrafficStats`.
+
+The reliable protocol is *receiver-driven* (NACK-style, like reliable
+multicast): senders never block on acknowledgements, so collectives
+built from point-to-point sends cannot deadlock against the recovery
+machinery.  Retransmission triggers are simulation-exact — a receiver
+asks for redelivery only when the expected sequence number was
+physically transmitted and is neither queued nor delayed in flight —
+which keeps retry counts bit-reproducible for a given fault seed.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
+import zlib
+from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from .errors import DeadlockError, SimMpiError
+from .errors import (
+    CorruptMessageError,
+    DeadlockError,
+    InjectedFault,
+    RetryExhaustedError,
+    SimMpiError,
+)
+from .faults import FaultPlan, corrupt_payload
 from .stats import TrafficStats
 
-__all__ = ["World", "Communicator"]
+__all__ = ["World", "Communicator", "TransportPolicy"]
 
 _DEFAULT_TIMEOUT = 120.0
+
+_TIMEOUT = object()  # sentinel: channel wait elapsed
 
 
 def _payload_bytes(obj: Any) -> int:
     """Accounted size of a message payload."""
     if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, np.generic):  # NumPy scalars (np.complex128, ...)
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
@@ -48,6 +84,64 @@ def _payload_bytes(obj: Any) -> int:
     return 64  # conservative default for small control objects
 
 
+def _as_bytes(obj: Any) -> bytes:
+    """Canonical byte view of a payload for checksumming."""
+    if isinstance(obj, np.ndarray):
+        return np.ascontiguousarray(obj).tobytes()
+    if isinstance(obj, np.generic):
+        return obj.tobytes()
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return bytes(obj)
+    if isinstance(obj, (list, tuple)):
+        return b"".join(_as_bytes(o) for o in obj)
+    return repr(obj).encode()
+
+
+def payload_checksum(obj: Any) -> int:
+    """CRC32 over the payload's byte content (ndarrays via ``tobytes``)."""
+    return zlib.crc32(_as_bytes(obj)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Knobs of the opt-in reliable transport.
+
+    checksums:
+        Verify a CRC32 over the payload bytes on receipt; detects
+        bit-flips (truncation is caught by the declared-size check even
+        with checksums off).
+    max_retries:
+        Redelivery attempts per message before
+        :class:`RetryExhaustedError`.  ``0`` = detect-only mode:
+        corruption raises :class:`CorruptMessageError` instead of being
+        repaired.
+    retry_timeout:
+        Receiver patience before the first retransmit request, seconds.
+    backoff:
+        Multiplicative patience growth per attempt (exponential backoff).
+    control_nbytes:
+        Modelled size of one ack/nack control message, counted in
+        ``TrafficStats`` control bytes.
+    """
+
+    checksums: bool = True
+    max_retries: int = 8
+    retry_timeout: float = 0.05
+    backoff: float = 2.0
+    control_nbytes: int = 16
+
+
+@dataclass(eq=False)  # identity equality: payloads may be ndarrays
+class _Envelope:
+    """Wire framing of the reliable transport (one per transmission)."""
+
+    seq: int
+    phase: str
+    payload: Any
+    crc: int | None  # CRC32 of payload bytes; None when checksums are off
+    nbytes: int  # declared payload size (truncation detector)
+
+
 class World:
     """Shared state of one SPMD execution: channels, barrier, stats.
 
@@ -55,30 +149,232 @@ class World:
     sees per-rank :class:`Communicator` views.
     """
 
-    def __init__(self, nranks: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        faults: FaultPlan | None = None,
+        transport: TransportPolicy | None = None,
+    ) -> None:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.timeout = timeout
         self.stats = TrafficStats()
-        self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
-        self._channels_lock = threading.Lock()
+        self.faults = faults
+        self.transport = transport
+        self._cv = threading.Condition()
+        self._channels: dict[tuple, deque] = {}
+        self._pending_delays: dict[tuple, list] = {}
         self._barrier = threading.Barrier(nranks)
         self.abort_event = threading.Event()
         # Optional fault hook: (src, dst, tag, payload) -> payload.
+        # Legacy shim — prefer a FaultPlan / ChaosSchedule (faults=).
         self.fault_hook: Callable[[int, int, int, Any], Any] | None = None
+        # Reliable-transport state (sequence numbers, retransmit buffer).
+        self._state_lock = threading.Lock()
+        self._send_seq: dict[tuple, int] = {}
+        self._unacked: dict[tuple, list] = {}  # (src,dst,tag,seq) -> [env, attempts]
+        self._recv_state: dict[tuple, dict] = {}  # (src,dst,tag) -> {expected, stash}
 
-    def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+    # ---- channel primitives (condition-based, no polling) ----------------
+
+    def channel(self, src: int, dst: int, tag: Any) -> deque:
         key = (src, dst, tag)
-        with self._channels_lock:
+        with self._cv:
             ch = self._channels.get(key)
             if ch is None:
-                ch = self._channels[key] = queue.SimpleQueue()
+                ch = self._channels[key] = deque()
             return ch
+
+    def _put(self, key: tuple, item: Any) -> None:
+        with self._cv:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = self._channels[key] = deque()
+            ch.append(item)
+            self._cv.notify_all()
+
+    def _delayed_put(self, key: tuple, item: Any, delay_s: float) -> None:
+        holder = [item]  # identity token (payloads may be ndarrays: no ==)
+        with self._cv:
+            self._pending_delays.setdefault(key, []).append(holder)
+
+        def fire() -> None:
+            with self._cv:
+                pending = self._pending_delays.get(key, [])
+                for i, h in enumerate(pending):
+                    if h is holder:
+                        del pending[i]
+                        break
+                ch = self._channels.get(key)
+                if ch is None:
+                    ch = self._channels[key] = deque()
+                ch.append(item)
+                self._cv.notify_all()
+
+        t = threading.Timer(delay_s, fire)
+        t.daemon = True
+        t.start()
+
+    def _get(self, key: tuple, deadline: float) -> Any:
+        """Pop the next item, waiting until *deadline* (monotonic seconds).
+
+        Returns the module-level ``_TIMEOUT`` sentinel when the deadline
+        passes; raises if the world aborted while waiting.
+        """
+        with self._cv:
+            while True:
+                if self.abort_event.is_set():
+                    raise SimMpiError("aborted: another rank failed")
+                ch = self._channels.get(key)
+                if ch is None:
+                    ch = self._channels[key] = deque()
+                if ch:
+                    return ch.popleft()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return _TIMEOUT
+                self._cv.wait(remaining)
+
+    def _in_flight(self, key: tuple, seq: int) -> bool:
+        """Whether envelope *seq* is queued or delay-scheduled on *key*.
+
+        Simulation omniscience that keeps retransmit counts exact: a
+        receiver only requests redelivery of messages that were truly
+        lost, never of ones merely slow to arrive.
+        """
+        with self._cv:
+            for item in self._channels.get(key, ()):
+                if isinstance(item, _Envelope) and item.seq == seq:
+                    return True
+            for holder in self._pending_delays.get(key, ()):
+                if isinstance(holder[0], _Envelope) and holder[0].seq == seq:
+                    return True
+        return False
+
+    def abort(self) -> None:
+        """Mark the run failed and wake every blocked receiver/barrier."""
+        self.abort_event.set()
+        self._barrier.abort()
+        with self._cv:
+            self._cv.notify_all()
 
     def check_abort(self) -> None:
         if self.abort_event.is_set():
             raise SimMpiError("aborted: another rank failed")
+
+    # ---- wire layer (fault injection lives here) -------------------------
+
+    def wire_send(
+        self,
+        phase: str,
+        src: int,
+        dst: int,
+        tag: Any,
+        item: Any,
+        *,
+        index: int,
+        attempt: int = 0,
+    ) -> None:
+        """One physical transmission src->dst: apply faults, record bytes.
+
+        Every physical copy put on (or dropped from) the wire is
+        recorded in the traffic statistics — lost and duplicated bytes
+        cost bandwidth exactly like delivered ones.
+        """
+        deliveries: list[tuple[Any, float]] = [(item, 0.0)]
+        if self.faults is not None:
+            for spec in self.faults.actions_for(phase, src, dst, index, attempt):
+                if spec.kind == "drop":
+                    for payload, _ in deliveries:
+                        self.stats.record_message(
+                            phase, src, dst, self._wire_bytes(payload)
+                        )
+                    deliveries = []
+                elif spec.kind == "duplicate":
+                    deliveries = deliveries + deliveries
+                elif spec.kind == "delay":
+                    deliveries = [(p, d + spec.delay_s) for p, d in deliveries]
+                elif spec.kind in ("truncate", "bitflip"):
+                    deliveries = [
+                        (self._corrupt(spec, p), d) for p, d in deliveries
+                    ]
+        key = (src, dst, tag)
+        for payload, delay in deliveries:
+            self.stats.record_message(phase, src, dst, self._wire_bytes(payload))
+            if delay > 0.0:
+                self._delayed_put(key, payload, delay)
+            else:
+                self._put(key, payload)
+
+    @staticmethod
+    def _wire_bytes(item: Any) -> int:
+        if isinstance(item, _Envelope):
+            return _payload_bytes(item.payload)
+        return _payload_bytes(item)
+
+    @staticmethod
+    def _corrupt(spec, item: Any) -> Any:
+        if isinstance(item, _Envelope):
+            return _Envelope(
+                seq=item.seq,
+                phase=item.phase,
+                payload=corrupt_payload(spec, item.payload),
+                crc=item.crc,
+                nbytes=item.nbytes,
+            )
+        return corrupt_payload(spec, item)
+
+    # ---- reliable-transport bookkeeping ----------------------------------
+
+    def next_send_seq(self, src: int, dst: int, tag: Any) -> int:
+        with self._state_lock:
+            key = (src, dst, tag)
+            seq = self._send_seq.get(key, 0)
+            self._send_seq[key] = seq + 1
+            return seq
+
+    def register_unacked(self, src: int, dst: int, tag: Any, env: _Envelope) -> None:
+        with self._state_lock:
+            self._unacked[(src, dst, tag, env.seq)] = [env, 0]
+
+    def has_unacked(self, src: int, dst: int, tag: Any, seq: int) -> bool:
+        with self._state_lock:
+            return (src, dst, tag, seq) in self._unacked
+
+    def request_retransmit(self, src: int, dst: int, tag: Any, seq: int) -> bool:
+        """Redeliver (src,dst,tag,seq) from the retransmit buffer.
+
+        Returns False when the message was never sent (the receiver is
+        simply early) — that wait does not consume a retry budget.  The
+        implied NACK control message is charged to the stats.
+        """
+        with self._state_lock:
+            rec = self._unacked.get((src, dst, tag, seq))
+            if rec is None:
+                return False
+            env, attempts = rec
+            rec[1] = attempts + 1
+        self.stats.record_retransmit(env.phase, src, dst, _payload_bytes(env.payload))
+        if self.transport is not None:
+            self.stats.record_ack(env.phase, self.transport.control_nbytes)
+        self.wire_send(env.phase, src, dst, tag, env, index=seq, attempt=attempts + 1)
+        return True
+
+    def ack(self, src: int, dst: int, tag: Any, env: _Envelope) -> None:
+        with self._state_lock:
+            self._unacked.pop((src, dst, tag, env.seq), None)
+        if self.transport is not None:
+            self.stats.record_ack(env.phase, self.transport.control_nbytes)
+
+    def recv_state(self, src: int, dst: int, tag: Any) -> dict:
+        with self._state_lock:
+            key = (src, dst, tag)
+            st = self._recv_state.get(key)
+            if st is None:
+                st = self._recv_state[key] = {"expected": 0, "stash": {}}
+            return st
 
     def comm(self, rank: int) -> "Communicator":
         return Communicator(self, rank)
@@ -106,7 +402,15 @@ class Communicator:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Label all traffic inside the block (nested labels restore)."""
+        """Label all traffic inside the block (nested labels restore).
+
+        Phase entry is also the fault plan's rank-kill boundary: a
+        matching kill fault raises :class:`InjectedFault` here.
+        """
+        if self.world.faults is not None and self.world.faults.should_kill(
+            self.rank, name
+        ):
+            raise InjectedFault(f"rank {self.rank} killed entering phase {name!r}")
         prev, self._phase = self._phase, name
         try:
             yield
@@ -123,31 +427,117 @@ class Communicator:
         """Send *obj* to rank *dest* (non-blocking: channels are unbounded)."""
         self._check_peer(dest, "destination")
         self.world.check_abort()
+        world = self.world
         payload = obj
-        if self.world.fault_hook is not None:
-            payload = self.world.fault_hook(self.rank, dest, tag, payload)
-        self.stats.record_message(self._phase, self.rank, dest, _payload_bytes(payload))
-        self.world.channel(self.rank, dest, tag).put(payload)
+        if world.fault_hook is not None:
+            payload = world.fault_hook(self.rank, dest, tag, payload)
+        if world.transport is None:
+            index = 0
+            if world.faults is not None:
+                index = world.faults.next_index(self._phase, self.rank, dest)
+            world.wire_send(self._phase, self.rank, dest, tag, payload, index=index)
+            return
+        seq = world.next_send_seq(self.rank, dest, tag)
+        crc = payload_checksum(payload) if world.transport.checksums else None
+        env = _Envelope(
+            seq=seq,
+            phase=self._phase,
+            payload=payload,
+            crc=crc,
+            nbytes=_payload_bytes(payload),
+        )
+        world.register_unacked(self.rank, dest, tag, env)
+        world.wire_send(self._phase, self.rank, dest, tag, env, index=seq)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from rank *source* (timeout -> DeadlockError)."""
         self._check_peer(source, "source")
-        ch = self.world.channel(source, self.rank, tag)
-        deadline = self.world.timeout
-        # Poll in short slices so an abort on another rank unblocks us.
-        waited = 0.0
-        slice_s = 0.05
+        if self.world.transport is not None:
+            return self._recv_reliable(source, tag)
+        key = (source, self.rank, tag)
+        deadline = time.monotonic() + self.world.timeout
+        item = self.world._get(key, deadline)
+        if item is _TIMEOUT:
+            raise DeadlockError(
+                f"rank {self.rank} timed out receiving from {source} "
+                f"(tag={tag}) after {self.world.timeout}s"
+            )
+        return item
+
+    def _recv_reliable(self, source: int, tag: int) -> Any:
+        """Receive the next in-sequence payload, recovering wire faults."""
+        world = self.world
+        policy = world.transport
+        key = (source, self.rank, tag)
+        st = world.recv_state(source, self.rank, tag)
+        attempts = 0
+        patience = policy.retry_timeout
+        deadline = time.monotonic() + world.timeout
+
+        def bump_attempts() -> None:
+            nonlocal attempts, patience
+            attempts += 1
+            patience *= policy.backoff
+            if attempts > policy.max_retries:
+                raise RetryExhaustedError(
+                    source, self.rank, tag, st["expected"], attempts - 1
+                )
+
         while True:
-            self.world.check_abort()
-            try:
-                return ch.get(timeout=slice_s)
-            except queue.Empty:
-                waited += slice_s
-                if waited >= deadline:
-                    raise DeadlockError(
-                        f"rank {self.rank} timed out receiving from {source} "
-                        f"(tag={tag}) after {deadline}s"
-                    ) from None
+            expected = st["expected"]
+            env = st["stash"].pop(expected, None)
+            if env is None:
+                wait_until = min(time.monotonic() + patience, deadline)
+                got = world._get(key, wait_until)
+                if got is _TIMEOUT:
+                    if time.monotonic() >= deadline:
+                        raise DeadlockError(
+                            f"rank {self.rank} timed out receiving from {source} "
+                            f"(tag={tag}) after {world.timeout}s"
+                        )
+                    if world._in_flight(key, expected):
+                        continue  # queued or delayed: patience, not loss
+                    if not world.has_unacked(source, self.rank, tag, expected):
+                        continue  # not sent yet: the sender is simply behind
+                    if policy.max_retries == 0:
+                        raise RetryExhaustedError(source, self.rank, tag, expected, 0)
+                    bump_attempts()
+                    world.request_retransmit(source, self.rank, tag, expected)
+                    continue
+                if not isinstance(got, _Envelope):
+                    # Framing destroyed beyond recognition: drop the junk;
+                    # the sequence gap is recovered via the timeout path.
+                    world.stats.record_corrupt(self._phase)
+                    continue
+                env = got
+                if env.seq < expected:
+                    world.stats.record_duplicate(env.phase)
+                    continue
+                if env.seq > expected:
+                    st["stash"][env.seq] = env  # reorder buffer
+                    continue
+            reason = self._integrity_failure(env)
+            if reason is not None:
+                world.stats.record_corrupt(env.phase)
+                if policy.max_retries == 0:
+                    raise CorruptMessageError(source, self.rank, tag, env.seq, reason)
+                bump_attempts()
+                world.request_retransmit(source, self.rank, tag, expected)
+                continue
+            world.ack(source, self.rank, tag, env)
+            st["expected"] = expected + 1
+            return env.payload
+
+    def _integrity_failure(self, env: _Envelope) -> str | None:
+        if _payload_bytes(env.payload) != env.nbytes:
+            return f"size mismatch: got {_payload_bytes(env.payload)}B, declared {env.nbytes}B"
+        if (
+            self.world.transport.checksums
+            and env.crc is not None
+            and payload_checksum(env.payload) != env.crc
+        ):
+            return "checksum mismatch"
+        return None
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         """Combined send+receive (safe against head-of-line blocking)."""
@@ -235,6 +625,47 @@ class Communicator:
         for src in range(self.size):
             if src != self.rank:
                 out[src] = self.recv(src, tag=-5)
+        return out
+
+    def alltoallv(
+        self,
+        objs: Sequence[Any],
+        sources: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """Variable-count personalised all-to-all (MPI's ``alltoallv``).
+
+        Like :meth:`alltoall`, but pairs may exchange *nothing*:
+        ``objs[d] is None`` sends no message to rank d (a zero count),
+        and *sources* names the ranks this rank expects data from
+        (default: every rank).  As in MPI, the receive counts must be
+        known a priori — when any send entry is None, the matching
+        receivers must pass a *sources* list that excludes the silent
+        senders, or they will wait for a message that never comes.
+
+        Collective: every rank must call it, even with all-None sends.
+        Counted as one all-to-all round.  Used where segment counts are
+        uneven — e.g. the selective slice retransmission of the
+        distributed FFTs' ``verify`` mode.
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"alltoallv needs exactly {self.size} send items")
+        if self.rank == 0:
+            self.stats.record_alltoall(self._phase)
+        src_list = list(range(self.size)) if sources is None else list(sources)
+        for src in src_list:
+            self._check_peer(src, "source")
+        for dst in range(self.size):
+            if dst != self.rank and objs[dst] is not None:
+                self.send(objs[dst], dst, tag=-6)
+        out = [None] * self.size
+        if objs[self.rank] is not None:
+            self.stats.record_message(
+                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+            )
+            out[self.rank] = objs[self.rank]
+        for src in src_list:
+            if src != self.rank:
+                out[src] = self.recv(src, tag=-6)
         return out
 
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):

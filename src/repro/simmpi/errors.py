@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["SimMpiError", "DeadlockError", "RankFailure", "InjectedFault"]
+__all__ = [
+    "SimMpiError",
+    "DeadlockError",
+    "RankFailure",
+    "InjectedFault",
+    "CorruptMessageError",
+    "RetryExhaustedError",
+    "VerificationError",
+]
 
 
 class SimMpiError(RuntimeError):
@@ -29,3 +37,53 @@ class RankFailure(SimMpiError):
 
 class InjectedFault(SimMpiError):
     """Raised by a fault-injection hook (tests of failure handling)."""
+
+
+class CorruptMessageError(SimMpiError):
+    """A received message failed its transport-level integrity check.
+
+    Raised when :class:`~repro.simmpi.comm.TransportPolicy` has
+    checksums enabled but retransmission exhausted or disabled
+    (``max_retries=0``: detect-only mode) — the corruption is reported
+    instead of silently delivered.
+    """
+
+    def __init__(self, src: int, dst: int, tag: int, seq: int, reason: str):
+        super().__init__(
+            f"corrupt message {src}->{dst} (tag={tag}, seq={seq}): {reason}"
+        )
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.seq = seq
+        self.reason = reason
+
+
+class RetryExhaustedError(SimMpiError):
+    """Reliable transport gave up redelivering a message.
+
+    The receiver requested retransmission ``attempts`` times (bounded by
+    ``TransportPolicy.max_retries``) and never obtained an intact copy —
+    the simulated link is effectively down.
+    """
+
+    def __init__(self, src: int, dst: int, tag: int, seq: int, attempts: int):
+        super().__init__(
+            f"retransmit of {src}->{dst} (tag={tag}, seq={seq}) "
+            f"abandoned after {attempts} attempts"
+        )
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.seq = seq
+        self.attempts = attempts
+
+
+class VerificationError(SimMpiError):
+    """An algorithm-level self-check failed.
+
+    Raised by the ``verify=True`` mode of the distributed FFTs when
+    per-slice checksum repair could not converge or the final output
+    violates the plan's modelled accuracy bound — a corrupted result is
+    never returned silently.
+    """

@@ -11,6 +11,18 @@ comes from :mod:`repro.cluster`.
 Failure semantics: if any rank raises, the world's abort flag is set,
 blocked receives/barriers on other ranks unwind, and the first original
 exception is re-raised in the caller — mirroring how an MPI job aborts.
+
+Robustness options: ``faults=`` attaches a deterministic
+:class:`~repro.simmpi.faults.FaultPlan`/``ChaosSchedule``;
+``transport=`` layers the reliable
+:class:`~repro.simmpi.comm.TransportPolicy` over every channel; and
+``max_restarts=`` bounds automatic re-execution after an injected rank
+kill.  Restart re-runs the *whole world* — on this substrate (as in a
+real MPI job) a half-dead world cannot resynchronise its collectives,
+so recovery is job-level — which is only sound when the rank program is
+idempotent (a pure function of its inputs, as the distributed FFTs
+are).  Consumed one-shot faults stay consumed across restarts, so a
+bounded plan converges.
 """
 
 from __future__ import annotations
@@ -19,8 +31,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .comm import Communicator, World
-from .errors import RankFailure, SimMpiError
+from .comm import Communicator, TransportPolicy, World
+from .errors import InjectedFault, RankFailure, SimMpiError
+from .faults import FaultPlan
 from .stats import TrafficStats
 
 __all__ = ["SpmdResult", "run_spmd"]
@@ -32,6 +45,7 @@ class SpmdResult:
 
     values: list[Any]
     stats: TrafficStats
+    restarts: int = 0  # world re-executions consumed recovering rank kills
 
     def __iter__(self):
         return iter(self.values)
@@ -40,12 +54,20 @@ class SpmdResult:
         return self.values[rank]
 
 
+def _default_restartable(exc: BaseException) -> bool:
+    return isinstance(exc, InjectedFault)
+
+
 def run_spmd(
     nranks: int,
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 120.0,
     fault_hook: Callable | None = None,
+    faults: FaultPlan | None = None,
+    transport: TransportPolicy | None = None,
+    max_restarts: int = 0,
+    restartable: Callable[[BaseException], bool] | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on *nranks* ranks.
@@ -62,12 +84,57 @@ def run_spmd(
     fault_hook:
         Optional ``(src, dst, tag, payload) -> payload`` interceptor for
         failure-injection tests (raise :class:`InjectedFault` to kill a
-        transfer, or return a corrupted payload).
+        transfer, or return a corrupted payload).  Legacy shim — prefer
+        *faults*.
+    faults:
+        A :class:`~repro.simmpi.faults.FaultPlan` or ``ChaosSchedule``
+        injecting deterministic wire faults and phase-boundary rank
+        kills.  Per-run delivery counters are reset on every (re)start;
+        consumed one-shot faults are not.
+    transport:
+        A :class:`~repro.simmpi.comm.TransportPolicy` enabling the
+        reliable transport (checksums, sequence numbers, bounded
+        retransmission) on every channel.
+    max_restarts:
+        How many times the whole world may be re-executed after a
+        failure whose root cause satisfies *restartable* (default:
+        injected rank kills).  Requires *fn* to be idempotent.
+    restartable:
+        Predicate over the root-cause exception deciding whether a
+        failed attempt may be retried.
 
-    Returns an :class:`SpmdResult` with ``values[rank]`` and the shared
-    :class:`TrafficStats`.
+    Returns an :class:`SpmdResult` with ``values[rank]``, the shared
+    :class:`TrafficStats` of the successful attempt, and the number of
+    restarts consumed.
     """
-    world = World(nranks, timeout=timeout)
+    can_restart = restartable if restartable is not None else _default_restartable
+    attempt = 0
+    while True:
+        if faults is not None:
+            faults.new_run()
+        failure = _run_once(
+            nranks, fn, args, kwargs, timeout, fault_hook, faults, transport
+        )
+        if isinstance(failure, SpmdResult):
+            failure.restarts = attempt
+            return failure
+        if attempt < max_restarts and can_restart(failure.original):
+            attempt += 1
+            continue
+        raise failure from failure.original
+
+
+def _run_once(
+    nranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    timeout: float,
+    fault_hook: Callable | None,
+    faults: FaultPlan | None,
+    transport: TransportPolicy | None,
+) -> SpmdResult | RankFailure:
+    world = World(nranks, timeout=timeout, faults=faults, transport=transport)
     world.fault_hook = fault_hook
     values: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
@@ -80,8 +147,7 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             with errors_lock:
                 errors.append((rank, exc))
-            world.abort_event.set()
-            world._barrier.abort()
+            world.abort()
 
     threads = [
         threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
@@ -108,5 +174,5 @@ def run_spmd(
                 if not is_secondary(e):
                     rank, original = r, e
                     break
-        raise RankFailure(rank, original) from original
+        return RankFailure(rank, original)
     return SpmdResult(values, world.stats)

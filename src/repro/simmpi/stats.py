@@ -31,6 +31,13 @@ class PhaseTraffic:
     )
     alltoall_rounds: int = 0
     pt2pt_rounds: int = 0
+    # Reliability counters (populated only when a TransportPolicy is on):
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    duplicates_discarded: int = 0
+    corrupt_detected: int = 0
+    acks: int = 0
+    control_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -77,6 +84,34 @@ class TrafficStats:
         with self._lock:
             self._phases[phase].pt2pt_rounds += 1
 
+    # ---- reliability events (the cost of recovery, not just the fact) ----
+
+    def record_retransmit(self, phase: str, src: int, dst: int, nbytes: int) -> None:
+        """One retransmission of *nbytes* on the src->dst flow.
+
+        The retransmitted payload is also recorded as a regular message
+        by the wire layer; these counters isolate the *extra* traffic so
+        tests can assert both that recovery happened and what it cost.
+        """
+        with self._lock:
+            ph = self._phases[phase]
+            ph.retransmits += 1
+            ph.retransmit_bytes += int(nbytes)
+
+    def record_duplicate(self, phase: str) -> None:
+        with self._lock:
+            self._phases[phase].duplicates_discarded += 1
+
+    def record_corrupt(self, phase: str) -> None:
+        with self._lock:
+            self._phases[phase].corrupt_detected += 1
+
+    def record_ack(self, phase: str, nbytes: int) -> None:
+        with self._lock:
+            ph = self._phases[phase]
+            ph.acks += 1
+            ph.control_bytes += int(nbytes)
+
     # ---- queries ---------------------------------------------------------
 
     def phase(self, name: str) -> PhaseTraffic:
@@ -102,15 +137,43 @@ class TrafficStats:
         with self._lock:
             return sum(p.alltoall_rounds for p in self._phases.values())
 
+    @property
+    def total_retransmits(self) -> int:
+        with self._lock:
+            return sum(p.retransmits for p in self._phases.values())
+
+    @property
+    def total_retransmit_bytes(self) -> int:
+        with self._lock:
+            return sum(p.retransmit_bytes for p in self._phases.values())
+
+    @property
+    def total_corrupt_detected(self) -> int:
+        with self._lock:
+            return sum(p.corrupt_detected for p in self._phases.values())
+
+    @property
+    def total_duplicates_discarded(self) -> int:
+        with self._lock:
+            return sum(p.duplicates_discarded for p in self._phases.values())
+
     def summary(self) -> str:
         """Multi-line human-readable report (used by benchmark output)."""
         lines = ["traffic summary:"]
         with self._lock:
             for name in sorted(self._phases):
                 ph = self._phases[name]
-                lines.append(
+                line = (
                     f"  {name}: {ph.offnode_bytes():,} off-node bytes in "
                     f"{ph.total_messages} messages, "
                     f"{ph.alltoall_rounds} all-to-all rounds"
                 )
+                if ph.retransmits or ph.corrupt_detected or ph.duplicates_discarded:
+                    line += (
+                        f" [{ph.retransmits} retransmits "
+                        f"({ph.retransmit_bytes:,} B), "
+                        f"{ph.corrupt_detected} corrupt, "
+                        f"{ph.duplicates_discarded} dup-discarded]"
+                    )
+                lines.append(line)
         return "\n".join(lines)

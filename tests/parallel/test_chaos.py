@@ -1,0 +1,212 @@
+"""Acceptance sweep for the chaos-hardened runtime (ISSUE: robustness).
+
+Every fault kind, in every communication phase of BOTH distributed FFT
+algorithms, with the reliable transport enabled, must yield output
+bit-identical to the fault-free run — or a typed error — never a silent
+wrong answer.  The same chaos seed must reproduce the same fault
+sequence and the same recovery cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import SoiPlan
+from repro.parallel import (
+    soi_fft_distributed,
+    split_blocks,
+    transpose_fft_distributed,
+)
+from repro.simmpi import (
+    ChaosSchedule,
+    FaultPlan,
+    RankFailure,
+    SimMpiError,
+    TransportPolicy,
+    VerificationError,
+    run_spmd,
+)
+
+RANKS = 4
+N = 4096
+PLAN = SoiPlan(n=N, p=8)
+X = (
+    np.random.default_rng(42).standard_normal(N)
+    + 1j * np.random.default_rng(43).standard_normal(N)
+)
+BLOCKS = split_blocks(X, RANKS)
+
+QUICK = TransportPolicy(retry_timeout=0.03, max_retries=8)
+
+SOI_PHASES = ("halo", "alltoall")
+SIXSTEP_PHASES = ("transpose-1", "transpose-2", "transpose-3")
+WIRE_KINDS = ("drop", "duplicate", "delay", "truncate", "bitflip")
+
+
+def _soi_prog(comm, verify=False):
+    return soi_fft_distributed(comm, BLOCKS[comm.rank], PLAN, verify=verify)
+
+
+def _sixstep_prog(comm, verify=False):
+    return transpose_fft_distributed(comm, BLOCKS[comm.rank], N, verify=verify)
+
+
+def _run(prog, **kw):
+    res = run_spmd(RANKS, prog, **kw)
+    return np.concatenate(res.values), res
+
+
+@pytest.fixture(scope="module")
+def y_soi():
+    y, _ = _run(_soi_prog)
+    np.testing.assert_allclose(y, np.fft.fft(X), rtol=0, atol=1e-6 * np.abs(X).sum())
+    return y
+
+
+@pytest.fixture(scope="module")
+def y_sixstep():
+    y, _ = _run(_sixstep_prog)
+    np.testing.assert_allclose(y, np.fft.fft(X), rtol=0, atol=1e-6 * np.abs(X).sum())
+    return y
+
+
+def _plan_for(kind, phase):
+    # src=1, dst=0 exists in every phase: the halo ring sends rank->rank-1,
+    # and the all-to-alls use every pair.  Dispatch to the fluent builder.
+    builder = getattr(FaultPlan(), kind)
+    return builder(phase=phase, src=1, dst=0, delay_s=0.01)
+
+
+class TestTransportRecoversEveryKindEveryPhase:
+    @pytest.mark.parametrize("kind", WIRE_KINDS)
+    @pytest.mark.parametrize("phase", SOI_PHASES)
+    def test_soi(self, kind, phase, y_soi):
+        y, res = _run(_soi_prog, faults=_plan_for(kind, phase), transport=QUICK, timeout=60)
+        np.testing.assert_array_equal(y, y_soi)
+        if kind in ("drop", "truncate", "bitflip"):
+            assert res.stats.total_retransmits >= 1
+
+    @pytest.mark.parametrize("kind", WIRE_KINDS)
+    @pytest.mark.parametrize("phase", SIXSTEP_PHASES)
+    def test_sixstep(self, kind, phase, y_sixstep):
+        y, res = _run(
+            _sixstep_prog, faults=_plan_for(kind, phase), transport=QUICK, timeout=60
+        )
+        np.testing.assert_array_equal(y, y_sixstep)
+        if kind in ("drop", "truncate", "bitflip"):
+            assert res.stats.total_retransmits >= 1
+
+
+def _chaos(seed, phases=None):
+    return ChaosSchedule(
+        seed=seed,
+        p_drop=0.04,
+        p_duplicate=0.04,
+        p_delay=0.04,
+        p_truncate=0.04,
+        p_bitflip=0.04,
+        delay_s=0.01,
+        phases=phases,
+    )
+
+
+class TestChaosSweep:
+    """The headline acceptance property: bit-identical or typed — never silent."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize(
+        "prog,ref", [(_soi_prog, "y_soi"), (_sixstep_prog, "y_sixstep")]
+    )
+    def test_bit_identical_or_typed_error(self, seed, prog, ref, request):
+        y_ref = request.getfixturevalue(ref)
+        try:
+            y, _ = _run(prog, faults=_chaos(seed), transport=QUICK, timeout=120)
+        except RankFailure as failure:
+            assert isinstance(failure.original, SimMpiError)
+        else:
+            np.testing.assert_array_equal(y, y_ref)
+
+    def test_same_seed_same_cost_and_sequence(self, y_soi):
+        outputs, retrans, logs = [], [], []
+        for _ in range(2):
+            sched = _chaos(21)
+            y, res = _run(_soi_prog, faults=sched, transport=QUICK, timeout=120)
+            outputs.append(y)
+            retrans.append(
+                (res.stats.total_retransmits, res.stats.total_retransmit_bytes)
+            )
+            logs.append(sorted(sched.log))
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        np.testing.assert_array_equal(outputs[0], y_soi)
+        assert retrans[0] == retrans[1]
+        assert logs[0] == logs[1]
+        assert logs[0]  # chaos actually struck
+
+    def test_different_seed_different_sequence(self):
+        logs = []
+        for seed in (21, 22):
+            sched = _chaos(seed)
+            _run(_soi_prog, faults=sched, transport=QUICK, timeout=120)
+            logs.append(sorted(sched.log))
+        assert logs[0] != logs[1]
+
+
+class TestVerifyMode:
+    """Algorithm-level self-checking WITHOUT the reliable transport: per-slice
+    CRC exchange and selective retransmission repair payload corruption."""
+
+    def test_verify_clean_run_is_bit_identical(self, y_soi):
+        y, res = _run(_soi_prog, verify=True)
+        np.testing.assert_array_equal(y, y_soi)
+        assert "verify" in res.stats.phases()
+
+    def test_verify_repairs_alltoall_bitflips(self, y_soi):
+        plan = FaultPlan().bitflip(phase="alltoall", times=3)
+        y, _ = _run(_soi_prog, faults=plan, verify=True, timeout=60)
+        np.testing.assert_array_equal(y, y_soi)
+
+    def test_verify_repairs_halo_corruption(self, y_soi):
+        sched = ChaosSchedule(seed=5, p_bitflip=0.4, phases=("halo",))
+        y, _ = _run(_soi_prog, faults=sched, verify=True, timeout=60)
+        np.testing.assert_array_equal(y, y_soi)
+        assert sched.log  # faults really fired on the halo
+
+    def test_verify_repairs_sixstep_transpose(self, y_sixstep):
+        plan = FaultPlan().bitflip(phase="transpose-2", times=2)
+        y, _ = _run(_sixstep_prog, faults=plan, verify=True, timeout=60)
+        np.testing.assert_array_equal(y, y_sixstep)
+
+    def test_verify_detects_unrepairable_link(self):
+        # Every array 0->1 is corrupted in EVERY phase (including the
+        # verify-phase resends): repair cannot converge and must say so.
+        plan = FaultPlan().bitflip(src=0, dst=1, times=None)
+        with pytest.raises(RankFailure) as info:
+            _run(_soi_prog, faults=plan, verify=True, timeout=60)
+        assert isinstance(info.value.original, VerificationError)
+
+    def test_soi_verification_cheaper_than_sixstep(self):
+        """The paper's communication advantage extends to reliability cost:
+        SOI confirms ONE exchange where the six-step baseline confirms three."""
+        _, res_soi = _run(_soi_prog, verify=True)
+        _, res_six = _run(_sixstep_prog, verify=True)
+        soi_cost = res_soi.stats.phase("verify").offnode_bytes()
+        six_cost = res_six.stats.phase("verify").offnode_bytes()
+        assert 0 < soi_cost < six_cost
+
+
+class TestRankRestart:
+    def test_killed_rank_recovered_by_restart(self, y_soi):
+        plan = FaultPlan().kill(1, phase="alltoall")
+        y, res = _run(_soi_prog, faults=plan, max_restarts=1, timeout=60)
+        assert res.restarts == 1
+        np.testing.assert_array_equal(y, y_soi)
+
+    def test_chaos_kills_converge_with_restarts(self, y_soi):
+        sched = ChaosSchedule(seed=3, p_kill=0.2, phases=SOI_PHASES)
+        try:
+            y, res = _run(
+                _soi_prog, faults=sched, transport=QUICK, max_restarts=4, timeout=120
+            )
+        except RankFailure as failure:  # budget exhausted: typed, not silent
+            assert isinstance(failure.original, SimMpiError)
+        else:
+            np.testing.assert_array_equal(y, y_soi)

@@ -1,0 +1,170 @@
+"""Tests for the substrate's failure semantics: deadlock detection, root-cause
+selection, barrier unwinding, phase-boundary kills and bounded restart."""
+
+import time
+
+import pytest
+
+from repro.simmpi import (
+    DeadlockError,
+    FaultPlan,
+    InjectedFault,
+    RankFailure,
+    run_spmd,
+)
+
+
+class TestDeadlockDetection:
+    def test_missing_send_is_deadlock_on_the_receiver(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(source=0)  # rank 0 never sends
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, prog, timeout=0.3)
+        assert info.value.rank == 1
+        assert isinstance(info.value.original, DeadlockError)
+
+    def test_mismatched_tags_deadlock(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=1)
+            else:
+                comm.recv(source=0, tag=2)
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, prog, timeout=0.3)
+        assert isinstance(info.value.original, DeadlockError)
+
+    def test_deadlock_message_names_the_channel(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=7)
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, prog, timeout=0.3)
+        assert "rank 1" in str(info.value.original)
+        assert "tag=7" in str(info.value.original)
+
+
+class TestRootCauseSelection:
+    def test_injected_fault_beats_lower_ranked_secondary_aborts(self):
+        """Ranks 0 and 1 die of the abort (plain SimMpiError); the report
+        must name rank 2's InjectedFault, not the lowest-ranked casualty."""
+
+        def prog(comm):
+            if comm.rank == 2:
+                raise InjectedFault("nic on fire")
+            comm.recv(source=2)
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(3, prog, timeout=10)
+        assert info.value.rank == 2
+        assert isinstance(info.value.original, InjectedFault)
+
+    def test_user_exception_beats_secondary_aborts(self):
+        def prog(comm):
+            if comm.rank == 3:
+                raise ZeroDivisionError("root cause")
+            comm.barrier()
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(4, prog, timeout=10)
+        assert info.value.rank == 3
+        assert isinstance(info.value.original, ZeroDivisionError)
+
+
+class TestBarrierUnwinding:
+    def test_blocked_barrier_unwinds_promptly_on_failure(self):
+        start = time.monotonic()
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.barrier()
+
+        with pytest.raises(RankFailure) as info:
+            run_spmd(3, prog, timeout=60)
+        assert time.monotonic() - start < 10  # nobody waited out the timeout
+        assert isinstance(info.value.original, ValueError)
+
+    def test_blocked_recv_unwinds_promptly_on_failure(self):
+        start = time.monotonic()
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.recv(source=0)
+
+        with pytest.raises(RankFailure):
+            run_spmd(3, prog, timeout=60)
+        assert time.monotonic() - start < 10
+
+
+def _phase_prog(comm):
+    with comm.phase("work"):
+        return comm.allreduce(comm.rank)
+
+
+class TestKillAndRestart:
+    def test_kill_fires_at_phase_boundary(self):
+        plan = FaultPlan().kill(1, phase="work")
+        with pytest.raises(RankFailure) as info:
+            run_spmd(3, _phase_prog, faults=plan, timeout=10)
+        assert info.value.rank == 1
+        assert isinstance(info.value.original, InjectedFault)
+        assert "phase 'work'" in str(info.value.original)
+
+    def test_kill_only_named_phase(self):
+        plan = FaultPlan().kill(1, phase="other-phase")
+        res = run_spmd(3, _phase_prog, faults=plan, timeout=10)
+        assert res.values == [3, 3, 3]
+
+    def test_one_shot_kill_recovered_by_restart(self):
+        plan = FaultPlan().kill(1, phase="work")
+        res = run_spmd(3, _phase_prog, faults=plan, max_restarts=1, timeout=10)
+        assert res.restarts == 1
+        assert res.values == [3, 3, 3]
+
+    def test_repeated_kill_exhausts_restart_budget(self):
+        plan = FaultPlan().kill(1, phase="work", times=3)
+        with pytest.raises(RankFailure) as info:
+            run_spmd(3, _phase_prog, faults=plan, max_restarts=1, timeout=10)
+        assert isinstance(info.value.original, InjectedFault)
+
+    def test_restart_budget_unused_on_clean_run(self):
+        res = run_spmd(3, _phase_prog, max_restarts=5, timeout=10)
+        assert res.restarts == 0
+
+    def test_non_injected_failures_not_restarted_by_default(self):
+        calls = []
+
+        def prog(comm):
+            if comm.rank == 0:
+                calls.append(1)
+                raise ValueError("real bug")
+            comm.barrier()
+
+        with pytest.raises(RankFailure):
+            run_spmd(2, prog, max_restarts=3, timeout=10)
+        assert len(calls) == 1  # a genuine bug must not be retried into passing
+
+    def test_custom_restartable_predicate(self):
+        state = {"failed": False}
+
+        def prog(comm):
+            if comm.rank == 0 and not state["failed"]:
+                state["failed"] = True
+                raise ValueError("transient")
+            comm.barrier()
+            return comm.rank
+
+        res = run_spmd(
+            2,
+            prog,
+            max_restarts=1,
+            restartable=lambda e: isinstance(e, ValueError),
+            timeout=10,
+        )
+        assert res.restarts == 1
+        assert res.values == [0, 1]

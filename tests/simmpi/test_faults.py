@@ -1,0 +1,210 @@
+"""Tests for the deterministic fault-injection engine (`repro.simmpi.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import FAULT_KINDS, ChaosSchedule, FaultPlan, FaultSpec
+from repro.simmpi.faults import corrupt_payload
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin")
+
+    def test_kill_requires_rank(self):
+        with pytest.raises(ValueError, match="rank="):
+            FaultSpec(kind="kill")
+
+    def test_wildcards_match_everything(self):
+        spec = FaultSpec(kind="drop")
+        assert spec.matches("alltoall", 0, 1, 7)
+        assert spec.matches("halo", 3, 2, 0)
+
+    def test_keyed_spec_matches_only_its_delivery(self):
+        spec = FaultSpec(kind="bitflip", phase="halo", src=1, dst=0, index=2)
+        assert spec.matches("halo", 1, 0, 2)
+        assert not spec.matches("halo", 1, 0, 3)
+        assert not spec.matches("alltoall", 1, 0, 2)
+        assert not spec.matches("halo", 0, 1, 2)
+
+    def test_kill_never_matches_wire_deliveries(self):
+        assert not FaultSpec(kind="kill", rank=0).matches("halo", 0, 1, 0)
+
+
+class TestFaultPlan:
+    def test_fluent_builders(self):
+        plan = (
+            FaultPlan()
+            .drop(src=0, dst=1)
+            .duplicate(phase="halo")
+            .delay(delay_s=0.1)
+            .truncate(keep_fraction=0.25)
+            .bitflip(bit=3)
+            .kill(2, phase="alltoall")
+        )
+        assert [s.kind for s in plan.specs] == list(FAULT_KINDS)
+
+    def test_one_shot_by_default(self):
+        plan = FaultPlan().drop(src=0, dst=1)
+        assert [s.kind for s in plan.actions_for("p", 0, 1, 0)] == ["drop"]
+        assert plan.actions_for("p", 0, 1, 1) == []
+
+    def test_unlimited_firing(self):
+        plan = FaultPlan().drop(times=None)
+        for i in range(5):
+            assert len(plan.actions_for("p", 0, 1, i)) == 1
+
+    def test_bounded_firing_count(self):
+        plan = FaultPlan().bitflip(times=3)
+        fired = sum(len(plan.actions_for("p", 0, 1, i)) for i in range(10))
+        assert fired == 3
+
+    def test_non_matching_delivery_untouched(self):
+        plan = FaultPlan().drop(phase="halo", src=1, dst=0)
+        assert plan.actions_for("alltoall", 1, 0, 0) == []
+        assert plan.actions_for("halo", 0, 1, 0) == []
+
+    def test_next_index_counts_per_flow(self):
+        plan = FaultPlan()
+        assert plan.next_index("p", 0, 1) == 0
+        assert plan.next_index("p", 0, 1) == 1
+        assert plan.next_index("p", 1, 0) == 0  # independent flow
+        assert plan.next_index("q", 0, 1) == 0  # independent phase
+
+    def test_new_run_resets_counters_but_keeps_budgets(self):
+        plan = FaultPlan().drop(src=0, dst=1)
+        plan.next_index("p", 0, 1)
+        plan.actions_for("p", 0, 1, 0)  # consume the one-shot drop
+        plan.new_run()
+        assert plan.next_index("p", 0, 1) == 0  # counter restarted
+        assert plan.actions_for("p", 0, 1, 0) == []  # budget stays consumed
+
+    def test_reset_restores_budgets_and_log(self):
+        plan = FaultPlan().drop(src=0, dst=1)
+        plan.actions_for("p", 0, 1, 0)
+        assert plan.log
+        plan.reset()
+        assert plan.log == []
+        assert len(plan.actions_for("p", 0, 1, 0)) == 1
+
+    def test_should_kill_matches_rank_and_phase(self):
+        plan = FaultPlan().kill(1, phase="alltoall")
+        assert not plan.should_kill(0, "alltoall")
+        assert not plan.should_kill(1, "halo")
+        assert plan.should_kill(1, "alltoall")
+        assert not plan.should_kill(1, "alltoall")  # budget consumed
+
+    def test_log_records_firings(self):
+        plan = FaultPlan().drop(src=0, dst=1).kill(2)
+        plan.actions_for("p", 0, 1, 4)
+        plan.should_kill(2, "halo")
+        assert ("drop", "p", 0, 1, 4) in plan.log
+        assert ("kill", "halo", 2, 2, 0) in plan.log
+
+
+class TestChaosSchedule:
+    KEYS = [
+        (phase, src, dst, idx)
+        for phase in ("halo", "alltoall")
+        for src in range(4)
+        for dst in range(4)
+        for idx in range(4)
+    ]
+
+    @staticmethod
+    def _decisions(sched, keys):
+        return [tuple(s.kind for s in sched.actions_for(*k)) for k in keys]
+
+    def test_probabilities_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            ChaosSchedule(seed=0, p_drop=0.7, p_bitflip=0.6)
+
+    def test_same_seed_same_decisions_any_order(self):
+        a = self._decisions(ChaosSchedule(seed=3, p_drop=0.2, p_bitflip=0.2), self.KEYS)
+        b_sched = ChaosSchedule(seed=3, p_drop=0.2, p_bitflip=0.2)
+        b_rev = self._decisions(b_sched, list(reversed(self.KEYS)))
+        assert a == list(reversed(b_rev))
+        assert any(a)  # some faults fired
+        assert not all(a)  # and some deliveries were clean
+
+    def test_different_seed_different_decisions(self):
+        a = self._decisions(ChaosSchedule(seed=3, p_drop=0.2, p_bitflip=0.2), self.KEYS)
+        b = self._decisions(ChaosSchedule(seed=4, p_drop=0.2, p_bitflip=0.2), self.KEYS)
+        assert a != b
+
+    def test_attempt_gets_independent_draw(self):
+        sched = ChaosSchedule(seed=1, p_drop=0.5)
+        first = [bool(sched.actions_for("p", s, d, 0, attempt=0)) for s in range(6) for d in range(6)]
+        retry = [bool(sched.actions_for("p", s, d, 0, attempt=1)) for s in range(6) for d in range(6)]
+        assert first != retry  # a retransmission is not doomed to repeat its fate
+
+    def test_at_most_one_kind_per_delivery(self):
+        sched = ChaosSchedule(
+            seed=2, p_drop=0.2, p_duplicate=0.2, p_delay=0.2, p_truncate=0.2, p_bitflip=0.2
+        )
+        for key in self.KEYS:
+            assert len(sched.actions_for(*key)) <= 1
+
+    def test_phase_restriction(self):
+        sched = ChaosSchedule(seed=3, p_drop=0.5, phases=("alltoall",))
+        halo = [sched.actions_for("halo", s, d, i) for (_, s, d, i) in self.KEYS]
+        assert all(a == [] for a in halo)
+        assert any(sched.actions_for("alltoall", s, d, i) for (_, s, d, i) in self.KEYS)
+
+    def test_explicit_specs_ride_along(self):
+        sched = ChaosSchedule(seed=0, specs=[FaultSpec(kind="drop", src=0, dst=1)])
+        assert [s.kind for s in sched.actions_for("p", 0, 1, 0)] == ["drop"]
+
+    def test_hashed_kill_fires_once_across_restarts(self):
+        sched = ChaosSchedule(seed=0, p_kill=0.5)
+        keys = [(r, ph) for r in range(6) for ph in ("halo", "alltoall")]
+        fired = [k for k in keys if sched.should_kill(*k)]
+        assert fired  # p=0.5 over 12 keys: some rank dies
+        sched.new_run()
+        # The replacement rank visits the same phase boundary and survives.
+        assert all(not sched.should_kill(*k) for k in fired)
+
+    def test_kill_decisions_reproducible(self):
+        keys = [(r, ph) for r in range(6) for ph in ("halo", "alltoall")]
+        a = [ChaosSchedule(seed=9, p_kill=0.3).should_kill(*k) for k in keys]
+        b = [ChaosSchedule(seed=9, p_kill=0.3).should_kill(*k) for k in keys]
+        assert a == b
+
+
+class TestCorruptPayload:
+    def test_bitflip_flips_exactly_one_bit(self):
+        a = np.arange(6, dtype=np.float64)
+        b = corrupt_payload(FaultSpec(kind="bitflip", bit=17), a)
+        assert b.shape == a.shape and b.dtype == a.dtype
+        xor = np.frombuffer(a.tobytes(), np.uint8) ^ np.frombuffer(b.tobytes(), np.uint8)
+        assert int(np.unpackbits(xor).sum()) == 1
+
+    def test_bitflip_bytes(self):
+        b = corrupt_payload(FaultSpec(kind="bitflip", bit=0), b"\x00\x00")
+        assert b == b"\x01\x00"
+
+    def test_bitflip_wraps_bit_position(self):
+        a = np.zeros(1, dtype=np.uint8)
+        b = corrupt_payload(FaultSpec(kind="bitflip", bit=8 + 3), a)
+        assert b[0] == 1 << 3
+
+    def test_truncate_shortens_array(self):
+        a = np.arange(8, dtype=np.complex128)
+        b = corrupt_payload(FaultSpec(kind="truncate", keep_fraction=0.5), a)
+        np.testing.assert_array_equal(b, a[:4])
+
+    def test_truncate_always_loses_something(self):
+        a = np.arange(3)
+        b = corrupt_payload(FaultSpec(kind="truncate", keep_fraction=1.0), a)
+        assert b.size < a.size
+
+    def test_non_buffer_payloads_pass_through(self):
+        for obj in (41, 2.5, "ctl", {"k": 1}, None):
+            assert corrupt_payload(FaultSpec(kind="bitflip"), obj) == obj or obj is None
+
+    def test_list_payload_corrupts_head_only(self):
+        arrs = [np.ones(4), np.ones(4)]
+        out = corrupt_payload(FaultSpec(kind="bitflip", bit=0), arrs)
+        assert not np.array_equal(out[0], arrs[0])
+        np.testing.assert_array_equal(out[1], arrs[1])

@@ -1,0 +1,186 @@
+"""Tests for the reliable transport (`TransportPolicy`): recovery, accounting,
+typed failure, and seed-reproducibility of the recovery cost."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    ChaosSchedule,
+    CorruptMessageError,
+    FaultPlan,
+    RankFailure,
+    RetryExhaustedError,
+    TransportPolicy,
+    run_spmd,
+)
+
+# Impatient policy: tests exercise retransmission, not wall-clock patience.
+QUICK = TransportPolicy(retry_timeout=0.02, max_retries=6)
+
+PAYLOAD = np.arange(4, dtype=np.float64)  # 32 bytes
+
+
+def _pair_prog(comm):
+    """Rank 0 sends two arrays to rank 1; rank 1 returns them."""
+    if comm.rank == 0:
+        comm.send(PAYLOAD.copy(), dest=1)
+        comm.send(PAYLOAD.copy() + 1, dest=1)
+        return None
+    return [comm.recv(source=0), comm.recv(source=0)]
+
+
+def _assert_pair_ok(res):
+    np.testing.assert_array_equal(res[1][0], PAYLOAD)
+    np.testing.assert_array_equal(res[1][1], PAYLOAD + 1)
+
+
+class TestRecovery:
+    def test_fault_free_no_recovery_traffic(self):
+        res = run_spmd(2, _pair_prog, transport=QUICK)
+        _assert_pair_ok(res)
+        assert res.stats.total_retransmits == 0
+        assert res.stats.total_corrupt_detected == 0
+
+    def test_drop_recovered_and_charged(self):
+        res = run_spmd(2, _pair_prog, faults=FaultPlan().drop(src=0, dst=1), transport=QUICK)
+        _assert_pair_ok(res)
+        assert res.stats.total_retransmits == 1
+        assert res.stats.total_retransmit_bytes == PAYLOAD.nbytes
+
+    def test_bitflip_detected_and_recovered(self):
+        res = run_spmd(2, _pair_prog, faults=FaultPlan().bitflip(src=0, dst=1), transport=QUICK)
+        _assert_pair_ok(res)
+        assert res.stats.total_corrupt_detected >= 1
+        assert res.stats.total_retransmits >= 1
+
+    def test_truncation_detected_and_recovered(self):
+        res = run_spmd(2, _pair_prog, faults=FaultPlan().truncate(src=0, dst=1), transport=QUICK)
+        _assert_pair_ok(res)
+        assert res.stats.total_corrupt_detected >= 1
+
+    def test_duplicate_discarded(self):
+        res = run_spmd(2, _pair_prog, faults=FaultPlan().duplicate(src=0, dst=1), transport=QUICK)
+        _assert_pair_ok(res)
+        assert res.stats.total_duplicates_discarded == 1
+        assert res.stats.total_retransmits == 0
+
+    def test_delay_is_patience_not_loss(self):
+        """A slow message must never trigger a retransmission (the receiver
+        can see it is in flight) — retry counts stay simulation-exact."""
+        res = run_spmd(
+            2, _pair_prog, faults=FaultPlan().delay(src=0, dst=1, delay_s=0.05), transport=QUICK
+        )
+        _assert_pair_ok(res)
+        assert res.stats.total_retransmits == 0
+
+    def test_reordered_messages_delivered_in_sequence(self):
+        # Delay only the FIRST message: the second physically arrives first
+        # and must wait in the reorder stash.
+        res = run_spmd(
+            2,
+            _pair_prog,
+            faults=FaultPlan().delay(src=0, dst=1, index=0, delay_s=0.06),
+            transport=QUICK,
+        )
+        _assert_pair_ok(res)
+        assert res.stats.total_retransmits == 0
+
+    def test_collective_survives_drops(self):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 10 + d for d in range(comm.size)])
+
+        res = run_spmd(
+            4, prog, faults=FaultPlan().drop(times=3), transport=QUICK, timeout=30
+        )
+        for r in range(4):
+            assert res[r] == [src * 10 + r for src in range(4)]
+        assert res.stats.total_retransmits == 3
+
+
+class TestTypedFailure:
+    def test_permanent_drop_exhausts_retries(self):
+        policy = TransportPolicy(retry_timeout=0.01, max_retries=2)
+        plan = FaultPlan().drop(src=0, dst=1, times=None)
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, _pair_prog, faults=plan, transport=policy, timeout=30)
+        assert isinstance(info.value.original, RetryExhaustedError)
+        assert info.value.original.attempts == 2
+
+    def test_detect_only_mode_reports_corruption(self):
+        policy = TransportPolicy(max_retries=0, retry_timeout=0.01)
+        plan = FaultPlan().bitflip(src=0, dst=1)
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, _pair_prog, faults=plan, transport=policy, timeout=30)
+        err = info.value.original
+        assert isinstance(err, CorruptMessageError)
+        assert err.reason == "checksum mismatch"
+
+    def test_truncation_caught_without_checksums(self):
+        policy = TransportPolicy(checksums=False, max_retries=0, retry_timeout=0.01)
+        plan = FaultPlan().truncate(src=0, dst=1)
+        with pytest.raises(RankFailure) as info:
+            run_spmd(2, _pair_prog, faults=plan, transport=policy, timeout=30)
+        err = info.value.original
+        assert isinstance(err, CorruptMessageError)
+        assert err.reason.startswith("size mismatch")
+
+
+def _ring_prog(comm):
+    """Deterministic multi-phase traffic for the chaos determinism tests."""
+    out = []
+    with comm.phase("ring"):
+        for i in range(3):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            out.append(comm.sendrecv(np.full(8, comm.rank + i, dtype=np.float64),
+                                     dest=right, source=left))
+    with comm.phase("exchange"):
+        out.append(comm.alltoall([np.full(4, comm.rank, dtype=np.float64)] * comm.size))
+    return out
+
+
+def _chaos(seed):
+    return ChaosSchedule(
+        seed=seed, p_drop=0.1, p_duplicate=0.05, p_delay=0.05, p_truncate=0.05,
+        p_bitflip=0.1, delay_s=0.01,
+    )
+
+
+class TestSeedReproducibility:
+    def test_same_seed_same_recovery_cost(self):
+        runs = [
+            run_spmd(4, _ring_prog, faults=_chaos(11), transport=QUICK, timeout=60)
+            for _ in range(2)
+        ]
+        a, b = runs
+        assert a.stats.total_retransmits == b.stats.total_retransmits
+        assert a.stats.total_retransmit_bytes == b.stats.total_retransmit_bytes
+        assert a.stats.total_corrupt_detected == b.stats.total_corrupt_detected
+        assert a.stats.total_duplicates_discarded == b.stats.total_duplicates_discarded
+        for ra, rb in zip(a.values, b.values):
+            for xa, xb in zip(ra, rb):
+                np.testing.assert_array_equal(xa, xb)
+
+    def test_same_seed_same_fault_sequence(self):
+        logs = []
+        for _ in range(2):
+            sched = _chaos(11)
+            run_spmd(4, _ring_prog, faults=sched, transport=QUICK, timeout=60)
+            logs.append(sorted(sched.log))
+        assert logs[0] == logs[1]
+        assert logs[0]  # the schedule actually injected something
+
+    def test_different_seed_different_fault_sequence(self):
+        logs = []
+        for seed in (11, 12):
+            sched = _chaos(seed)
+            run_spmd(4, _ring_prog, faults=sched, transport=QUICK, timeout=60)
+            logs.append(sorted(sched.log))
+        assert logs[0] != logs[1]
+
+    def test_chaos_output_matches_fault_free(self):
+        clean = run_spmd(4, _ring_prog, transport=QUICK, timeout=60)
+        noisy = run_spmd(4, _ring_prog, faults=_chaos(11), transport=QUICK, timeout=60)
+        for rc, rn in zip(clean.values, noisy.values):
+            for xc, xn in zip(rc, rn):
+                np.testing.assert_array_equal(xc, xn)
