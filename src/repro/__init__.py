@@ -45,6 +45,7 @@ try:
         run_spmd,
     )
     from .parallel import soi_fft_distributed, transpose_fft_distributed  # noqa: F401
+    from .trace import TraceCostModel, TraceRecorder  # noqa: F401
 
     __all__ += [
         "SoiPlan",
@@ -62,6 +63,8 @@ try:
         "TransportPolicy",
         "soi_fft_distributed",
         "transpose_fft_distributed",
+        "TraceCostModel",
+        "TraceRecorder",
     ]
 except ImportError:  # pragma: no cover - only during partial source builds
     pass

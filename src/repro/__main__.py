@@ -4,21 +4,31 @@ Usage::
 
     python -m repro                 # all figures + accuracy + traffic
     python -m repro fig5 fig8      # a subset
+    python -m repro trace --trace-out soi.trace.json --chaos-seed 7
+    python -m repro --json traffic # machine-readable payloads too
     python -m repro --list
 
 Each section prints the same rows/series the corresponding paper
-table/figure reports (see EXPERIMENTS.md for the recorded comparison).
+table/figure reports (see EXPERIMENTS.md for the recorded comparison)
+and returns a JSON-safe payload; ``--json`` dumps the payloads of the
+selected sections as one JSON object after the text output.
+
+The ``trace`` section replays both distributed algorithms on the
+virtual timeline of :mod:`repro.trace`: an ASCII timeline per
+algorithm, per-kind/per-phase rollups, and — with ``--trace-out`` — a
+Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 
-def _fig_sweeps(names: list[str]) -> None:
+def _fig_sweeps(names: list[str]) -> dict:
     from .bench import run_figure_sweep
     from .cluster import cluster
 
@@ -28,13 +38,27 @@ def _fig_sweeps(names: list[str]) -> None:
         "fig6": ("Figure 6", "gordon", ["SOI", "MKL"]),
         "fig8": ("Figure 8", "endeavor-10gbe", ["SOI", "MKL"]),
     }
+    payload = {}
     for key in names:
         title, cname, libs = configs[key]
-        print(run_figure_sweep(title, cluster(cname), nodes, libs).text)
+        result = run_figure_sweep(title, cluster(cname), nodes, libs)
+        print(result.text)
         print()
+        payload[key] = {
+            "title": title,
+            "cluster": cname,
+            "nodes": nodes,
+            "gflops": {
+                lib: [result.sweep.points[(lib, n)].gflops for n in nodes]
+                for lib in libs
+            },
+            "speedup_over_mkl": list(result.sweep.speedup_series("MKL")),
+            "trace": result.extras.get("trace", {}),
+        }
+    return payload
 
 
-def _fig7() -> None:
+def _fig7(args: argparse.Namespace) -> dict:
     from .bench import format_table, random_complex
     from .cluster import cluster
     from .core import SoiPlan, snr_db, soi_fft
@@ -59,9 +83,15 @@ def _fig7() -> None:
         )
     )
     print()
+    return {
+        "rows": [
+            {"window": w, "b": b, "snr_db": float(s), "speedup_64_nodes": float(sp)}
+            for w, b, s, sp in rows
+        ]
+    }
 
 
-def _fig9() -> None:
+def _fig9(args: argparse.Namespace) -> dict:
     from .bench import format_table
     from .perf import projection_curve
 
@@ -78,9 +108,13 @@ def _fig9() -> None:
         )
     )
     print()
+    return {
+        "nodes": nodes,
+        "curves": {str(c): [float(v) for v in curves[c]] for c in (0.75, 1.0, 1.25)},
+    }
 
 
-def _table1() -> None:
+def _table1(args: argparse.Namespace) -> dict:
     from .bench import format_table
     from .cluster import cluster
 
@@ -90,9 +124,10 @@ def _table1() -> None:
     rows.append(("Gordon fabric", cluster("gordon").fabric.name))
     print(format_table(["Field", "Value"], rows, title="Table 1 — system configuration"))
     print()
+    return {"rows": [[str(k), str(v)] for k, v in rows]}
 
 
-def _snr() -> None:
+def _snr(args: argparse.Namespace) -> dict:
     from .bench import format_table, random_complex
     from .core import SoiPlan, snr_db, soi_fft
 
@@ -108,9 +143,10 @@ def _snr() -> None:
         )
     )
     print()
+    return {"soi_snr_db": float(soi_snr), "paper_soi_db": 290.0, "paper_mkl_db": 310.0}
 
 
-def _traffic() -> None:
+def _traffic(args: argparse.Namespace) -> dict:
     from .bench import format_table, measured_traffic
     from .core import SoiPlan
 
@@ -131,16 +167,96 @@ def _traffic() -> None:
         )
     )
     print()
+    return {
+        "n": n,
+        "nranks": ranks,
+        "soi_alltoall_rounds": facts["soi_alltoall_rounds"],
+        "std_alltoall_rounds": facts["std_alltoall_rounds"],
+        "soi_alltoall_bytes": int(soi_a2a),
+        "std_transpose_bytes": int(std),
+        "soi_stats": facts["soi_stats"].as_dict(),
+        "std_stats": facts["std_stats"].as_dict(),
+    }
+
+
+def _trace(args: argparse.Namespace) -> dict:
+    """Traced 8-rank runs of both algorithms on the virtual timeline."""
+    from .bench import random_complex
+    from .core import SoiPlan, snr_db
+    from .parallel import soi_fft_distributed, split_blocks, transpose_fft_distributed
+    from .simmpi import ChaosSchedule, TransportPolicy, run_spmd
+    from .trace import TraceRecorder, ascii_timeline, rollup, write_chrome_trace
+
+    n, ranks = 1 << 14, 8
+    plan = SoiPlan(n=n, p=8)
+    x = random_complex(n, 3)
+    blocks = split_blocks(x, ranks)
+    ref = np.fft.fft(x)
+
+    chaos_seed = getattr(args, "chaos_seed", None)
+    run_kwargs: dict = {}
+    if chaos_seed is not None:
+        run_kwargs["faults"] = ChaosSchedule(
+            seed=chaos_seed, p_bitflip=0.05, p_drop=0.02
+        )
+        run_kwargs["transport"] = TransportPolicy()
+
+    payload: dict = {"n": n, "nranks": ranks, "chaos_seed": chaos_seed, "runs": {}}
+    timelines = {}
+    for name, fn in (
+        ("soi", lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan)),
+        ("transpose", lambda comm: transpose_fft_distributed(comm, blocks[comm.rank], n)),
+    ):
+        recorder = TraceRecorder()
+        res = run_spmd(ranks, fn, trace=recorder, **run_kwargs)
+        tl = recorder.timeline()
+        agg = rollup(tl)
+        timelines[name] = tl
+        payload["runs"][name] = {
+            "snr_db": float(snr_db(np.concatenate(res.values), ref)),
+            "rollup": agg,
+            "traffic": res.stats.as_dict(),
+        }
+        title = "SOI (one all-to-all)" if name == "soi" else "six-step (three all-to-alls)"
+        print(f"{title} — N=2^14, {ranks} ranks"
+              + (f", chaos seed {chaos_seed}" if chaos_seed is not None else ""))
+        print(ascii_timeline(tl))
+        cp = agg["critical_path"]
+        print(
+            f"  makespan {agg['makespan_s'] * 1e3:.3f} ms virtual | "
+            f"all-to-all epochs: {agg['alltoall_epochs']} | "
+            f"wait fraction: {agg['wait_fraction']:.1%} | "
+            f"critical path covers {cp['coverage']:.1%} of makespan"
+        )
+        print()
+
+    soi_r = payload["runs"]["soi"]["rollup"]
+    std_r = payload["runs"]["transpose"]["rollup"]
+    print(
+        f"virtual speedup (six-step / SOI makespan): "
+        f"{std_r['makespan_s'] / soi_r['makespan_s']:.2f}x "
+        f"({soi_r['alltoall_epochs']} vs {std_r['alltoall_epochs']} all-to-all epochs)"
+    )
+    print()
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        write_chrome_trace(timelines["soi"], trace_out)
+        payload["trace_out"] = trace_out
+        print(f"wrote Chrome trace-event JSON (SOI run) to {trace_out}")
+        print()
+    return payload
 
 
 SECTIONS = {
     "table1": _table1,
     "snr": _snr,
     "traffic": _traffic,
-    "fig5": lambda: _fig_sweeps(["fig5"]),
-    "fig6": lambda: _fig_sweeps(["fig6"]),
+    "trace": _trace,
+    "fig5": lambda args: _fig_sweeps(["fig5"])["fig5"],
+    "fig6": lambda args: _fig_sweeps(["fig6"])["fig6"],
     "fig7": _fig7,
-    "fig8": lambda: _fig_sweeps(["fig8"]),
+    "fig8": lambda args: _fig_sweeps(["fig8"])["fig8"],
     "fig9": _fig9,
 }
 
@@ -157,12 +273,34 @@ def main(argv: list[str] | None = None) -> int:
         help=f"subset to regenerate (default: all of {', '.join(SECTIONS)})",
     )
     parser.add_argument("--list", action="store_true", help="list sections and exit")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="after the text output, dump the selected sections as one JSON object",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="trace section: write the SOI run as Chrome trace-event JSON to PATH",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        metavar="N",
+        type=int,
+        default=None,
+        help="trace section: inject seeded wire faults (ChaosSchedule) over the "
+        "reliable transport so retransmissions appear on the timeline",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(SECTIONS))
         return 0
+    payloads = {}
     for name in args.sections or list(SECTIONS):
-        SECTIONS[name]()
+        payloads[name] = SECTIONS[name](args)
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
     return 0
 
 

@@ -22,7 +22,7 @@ from ..simmpi import run_spmd
 from .tables import format_series, format_table
 from .workloads import random_complex
 
-__all__ = ["FigureResult", "run_figure_sweep", "measured_traffic"]
+__all__ = ["FigureResult", "run_figure_sweep", "measured_traffic", "trace_rollups"]
 
 
 @dataclass
@@ -64,7 +64,44 @@ def run_figure_sweep(
         node_counts,
         sweep.speedup_series(speedup_over),
     )
-    return FigureResult(name, sweep, table + "\n" + speed)
+    return FigureResult(
+        name, sweep, table + "\n" + speed, extras={"trace": trace_rollups()}
+    )
+
+
+_TRACE_ROLLUP_CACHE: dict[tuple[int, int], dict[str, Any]] = {}
+
+
+def trace_rollups(n: int = 1 << 12, nranks: int = 4, seed: int = 0) -> dict[str, Any]:
+    """Virtual-timeline rollups for a small traced run of both algorithms.
+
+    Attached to every :class:`FigureResult` as ``extras["trace"]`` so the
+    figure payloads carry the structural story behind the modelled bars —
+    one all-to-all epoch for SOI, three for the six-step baseline, with
+    per-kind time and the critical path (see :mod:`repro.trace`).  Cached
+    per ``(n, nranks)``: the rollup is a pure function of the problem
+    shape, and figure sweeps share it.
+    """
+    key = (n, nranks)
+    if key not in _TRACE_ROLLUP_CACHE:
+        from ..trace import TraceRecorder, rollup
+
+        x = random_complex(n, seed)
+        blocks = split_blocks(x, nranks)
+        plan = SoiPlan(n=n, p=max(nranks, 8))
+        out: dict[str, Any] = {}
+        for name, fn in (
+            ("soi", lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan)),
+            (
+                "transpose",
+                lambda comm: transpose_fft_distributed(comm, blocks[comm.rank], n),
+            ),
+        ):
+            recorder = TraceRecorder()
+            run_spmd(nranks, fn, trace=recorder)
+            out[name] = rollup(recorder.timeline())
+        _TRACE_ROLLUP_CACHE[key] = out
+    return _TRACE_ROLLUP_CACHE[key]
 
 
 def measured_traffic(

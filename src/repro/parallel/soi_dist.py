@@ -32,7 +32,9 @@ import numpy as np
 from ..core.accuracy import error_budget
 from ..core.plan import SoiPlan
 from ..dft.backends import FftBackend, get_backend
+from ..dft.flops import fft_flops, soi_convolution_flops
 from ..simmpi.comm import Communicator
+from ..trace.spans import TraceRecorder
 from ..utils import require
 from .selfcheck import (
     DEFAULT_VERIFY_ROUNDS,
@@ -102,6 +104,7 @@ def soi_fft_distributed(
     backend: str | FftBackend = "numpy",
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
+    trace: TraceRecorder | None = None,
 ) -> np.ndarray:
     """SPMD SOI FFT: each rank passes its block, receives its output block.
 
@@ -116,8 +119,17 @@ def soi_fft_distributed(
     global exchange where the six-step baseline pays it three times.
     Raises :class:`~repro.simmpi.errors.VerificationError` instead of
     returning a corrupted result.
+
+    With ``trace=`` (a shared :class:`~repro.trace.TraceRecorder`, or
+    one already attached via ``run_spmd(trace=...)``) every phase lands
+    on the rank's virtual timeline: compute spans carry the Section-5
+    flop counts, communication spans the exchanged bytes.  Tracing is
+    bit-transparent — output and traffic statistics are identical with
+    and without it.
     """
     be = get_backend(backend)
+    if trace is not None:
+        trace.attach(comm.world)
     layout = soi_rank_layout(plan, comm.size)
     block = layout["block"]
     s_per = layout["segments_per_rank"]
@@ -151,9 +163,15 @@ def soi_fft_distributed(
     winb = win.reshape(q_local, plan.b, plan.p)
     z = np.einsum("rbp,qbp->qrp", plan.coeffs, winb, optimize=True)
     z = z.reshape(layout["rows_per_rank"], plan.p)
+    comm.trace_compute(
+        "convolve",
+        soi_convolution_flops(layout["rows_per_rank"] * plan.p, plan.b),
+        kind="conv",
+    )
 
     # -- 3. small local FFTs: (I_M' (x) F_P) on local rows. ---------------
     v = be.fft(z)
+    comm.trace_compute("fft-p", layout["rows_per_rank"] * fft_flops(plan.p))
 
     # -- 4. THE all-to-all: deliver segment columns to their owners. ------
     with comm.phase("alltoall"):
@@ -171,6 +189,7 @@ def soi_fft_distributed(
     # -- 5. segment FFTs + demodulation (in-order output). ----------------
     segs = np.ascontiguousarray(x_tilde.T)  # (S, M')
     yt = be.fft(segs)
+    comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
     y_local = yt[:, : plan.m] / plan.demod[None, :]
     y_local = y_local.reshape(block)
     if verify:
@@ -192,6 +211,7 @@ def soi_ifft_distributed(
     backend: str | FftBackend = "numpy",
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
+    trace: TraceRecorder | None = None,
 ) -> np.ndarray:
     """Distributed inverse SOI transform (approximates ``ifft``).
 
@@ -204,6 +224,6 @@ def soi_ifft_distributed(
     vec = np.ascontiguousarray(y_local, dtype=np.complex128)
     forward = soi_fft_distributed(
         comm, np.conj(vec), plan, backend=backend,
-        verify=verify, verify_rounds=verify_rounds,
+        verify=verify, verify_rounds=verify_rounds, trace=trace,
     )
     return np.conj(forward) / plan.n

@@ -31,7 +31,9 @@ import math
 import numpy as np
 
 from ..dft.backends import FftBackend, get_backend
+from ..dft.flops import fft_flops
 from ..simmpi.comm import Communicator
+from ..trace.spans import TraceRecorder
 from ..utils import check_positive_int, require
 from .selfcheck import DEFAULT_VERIFY_ROUNDS, parseval_check, verified_alltoall
 
@@ -110,6 +112,7 @@ def transpose_fft_distributed(
     grid: tuple[int, int] | None = None,
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
+    trace: TraceRecorder | None = None,
 ) -> np.ndarray:
     """In-order N-point FFT, block-distributed, via the six-step algorithm.
 
@@ -123,8 +126,14 @@ def transpose_fft_distributed(
     Parseval check — three verification rounds where SOI needs one,
     which is exactly the paper's communication argument extended to
     reliability cost.
+
+    With ``trace=`` the run lands on a virtual timeline whose three
+    all-to-all epochs contrast with SOI's one (see :mod:`repro.trace`);
+    tracing is bit-transparent.
     """
     be = get_backend(backend)
+    if trace is not None:
+        trace.attach(comm.world)
     r = comm.size
     n1, n2 = grid if grid is not None else choose_grid(n, r)
     require(n1 * n2 == n, f"grid {n1}x{n2} != n={n}")
@@ -144,12 +153,14 @@ def transpose_fft_distributed(
 
     # 2. length-N1 FFTs over j1.
     bt = be.fft(at)
+    comm.trace_compute("fft-n1", (n2 // r) * fft_flops(n1))
 
     # 3. twiddle w_N^(j2*k1), j2 global row; exact integer reduction of
     # the exponent avoids argument-reduction noise at large N.
     j2 = (comm.rank * (n2 // r) + np.arange(n2 // r, dtype=np.int64))[:, None]
     k1 = np.arange(n1, dtype=np.int64)[None, :]
     bt = bt * np.exp(-2j * np.pi * ((j2 * k1) % n) / n)
+    comm.trace_compute("twiddle", 8.0 * (n2 // r) * n1, kind="conv")
 
     # 4. transpose-2: back to rows k1.
     with comm.phase("transpose-2"):
@@ -159,6 +170,7 @@ def transpose_fft_distributed(
 
     # 5. length-N2 FFTs over j2.
     d = be.fft(c)
+    comm.trace_compute("fft-n2", (n1 // r) * fft_flops(n2))
 
     # 6. transpose-3: natural order y[k1 + N1*k2] -> rows k2.
     with comm.phase("transpose-3"):

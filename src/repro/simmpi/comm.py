@@ -171,6 +171,11 @@ class World:
         # Optional fault hook: (src, dst, tag, payload) -> payload.
         # Legacy shim — prefer a FaultPlan / ChaosSchedule (faults=).
         self.fault_hook: Callable[[int, int, int, Any], Any] | None = None
+        # Optional span recorder (repro.trace.TraceRecorder).  Hooks fire
+        # only when set; they read payload *sizes* and never touch the
+        # payloads or the traffic statistics, so traced runs stay
+        # bit-identical to untraced ones.
+        self.tracer: Any | None = None
         # Reliable-transport state (sequence numbers, retransmit buffer).
         self._state_lock = threading.Lock()
         self._send_seq: dict[tuple, int] = {}
@@ -356,6 +361,10 @@ class World:
                 return False
             env, attempts = rec
             rec[1] = attempts + 1
+        if self.tracer is not None:
+            self.tracer.record_retransmit(
+                env.phase, src, dst, _payload_bytes(env.payload)
+            )
         self.stats.record_retransmit(env.phase, src, dst, _payload_bytes(env.payload))
         if self.transport is not None:
             self.stats.record_ack(env.phase, self.transport.control_nbytes)
@@ -421,6 +430,31 @@ class Communicator:
         if not 0 <= peer < self.size:
             raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
 
+    # ---- tracing ---------------------------------------------------------
+
+    def trace_compute(self, name: str, flops: float, kind: str = "fft") -> None:
+        """Record a local compute span of *flops* on this rank's timeline.
+
+        No-op unless a :class:`repro.trace.TraceRecorder` is attached to
+        the world.  *kind* selects the cost-model efficiency (``"fft"``
+        or ``"conv"``).
+        """
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_compute(name, self.rank, name, flops, kind)
+
+    @contextmanager
+    def _traced_collective(self, name: str) -> Iterator[None]:
+        """Bracket a collective so its epoch encloses the member transfers."""
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_collective_begin(self._phase, self.rank, name)
+        try:
+            yield
+        finally:
+            if tracer is not None:
+                tracer.record_collective_end(self._phase, self.rank, name)
+
     # ---- point-to-point ----------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -428,6 +462,10 @@ class Communicator:
         self._check_peer(dest, "destination")
         self.world.check_abort()
         world = self.world
+        if world.tracer is not None:
+            world.tracer.record_send(
+                self._phase, self.rank, dest, tag, _payload_bytes(obj)
+            )
         payload = obj
         if world.fault_hook is not None:
             payload = world.fault_hook(self.rank, dest, tag, payload)
@@ -453,7 +491,8 @@ class Communicator:
         """Blocking receive from rank *source* (timeout -> DeadlockError)."""
         self._check_peer(source, "source")
         if self.world.transport is not None:
-            return self._recv_reliable(source, tag)
+            payload = self._recv_reliable(source, tag)
+            return self._trace_recv(source, tag, payload)
         key = (source, self.rank, tag)
         deadline = time.monotonic() + self.world.timeout
         item = self.world._get(key, deadline)
@@ -462,7 +501,15 @@ class Communicator:
                 f"rank {self.rank} timed out receiving from {source} "
                 f"(tag={tag}) after {self.world.timeout}s"
             )
-        return item
+        return self._trace_recv(source, tag, item)
+
+    def _trace_recv(self, source: int, tag: int, payload: Any) -> Any:
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_recv(
+                self._phase, source, self.rank, tag, _payload_bytes(payload)
+            )
+        return payload
 
     def _recv_reliable(self, source: int, tag: int) -> Any:
         """Receive the next in-sequence payload, recovering wire faults."""
@@ -549,6 +596,9 @@ class Communicator:
     def barrier(self) -> None:
         """Synchronise all ranks."""
         self.world.check_abort()
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_barrier(self._phase, self.rank)
         try:
             self.world._barrier.wait(timeout=self.world.timeout)
         except threading.BrokenBarrierError:
@@ -558,49 +608,53 @@ class Communicator:
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast from *root*; every rank returns the payload."""
         self._check_peer(root, "root")
-        if self.rank == root:
-            for dst in range(self.size):
-                if dst != root:
-                    self.send(obj, dst, tag=-1)
-            return obj
-        return self.recv(root, tag=-1)
+        with self._traced_collective("bcast"):
+            if self.rank == root:
+                for dst in range(self.size):
+                    if dst != root:
+                        self.send(obj, dst, tag=-1)
+                return obj
+            return self.recv(root, tag=-1)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank to *root* (None elsewhere)."""
         self._check_peer(root, "root")
-        if self.rank == root:
-            out = [None] * self.size
-            out[root] = obj
-            for src in range(self.size):
-                if src != root:
-                    out[src] = self.recv(src, tag=-2)
-            return out
-        self.send(obj, root, tag=-2)
-        return None
+        with self._traced_collective("gather"):
+            if self.rank == root:
+                out = [None] * self.size
+                out[root] = obj
+                for src in range(self.size):
+                    if src != root:
+                        out[src] = self.recv(src, tag=-2)
+                return out
+            self.send(obj, root, tag=-2)
+            return None
 
     def allgather(self, obj: Any) -> list[Any]:
         """Every rank receives the list of every rank's object."""
-        for dst in range(self.size):
-            if dst != self.rank:
-                self.send(obj, dst, tag=-3)
-        out = [None] * self.size
-        out[self.rank] = obj
-        for src in range(self.size):
-            if src != self.rank:
-                out[src] = self.recv(src, tag=-3)
-        return out
+        with self._traced_collective("allgather"):
+            for dst in range(self.size):
+                if dst != self.rank:
+                    self.send(obj, dst, tag=-3)
+            out = [None] * self.size
+            out[self.rank] = obj
+            for src in range(self.size):
+                if src != self.rank:
+                    out[src] = self.recv(src, tag=-3)
+            return out
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Root distributes ``objs[i]`` to rank i; returns the local item."""
         self._check_peer(root, "root")
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError(f"scatter needs exactly {self.size} items at root")
-            for dst in range(self.size):
-                if dst != root:
-                    self.send(objs[dst], dst, tag=-4)
-            return objs[root]
-        return self.recv(root, tag=-4)
+        with self._traced_collective("scatter"):
+            if self.rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise ValueError(f"scatter needs exactly {self.size} items at root")
+                for dst in range(self.size):
+                    if dst != root:
+                        self.send(objs[dst], dst, tag=-4)
+                return objs[root]
+            return self.recv(root, tag=-4)
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
         """Personalised all-to-all: send ``objs[d]`` to rank d, get one each.
@@ -613,19 +667,20 @@ class Communicator:
             raise ValueError(f"alltoall needs exactly {self.size} send items")
         if self.rank == 0:
             self.stats.record_alltoall(self._phase)
-        for dst in range(self.size):
-            if dst != self.rank:
-                self.send(objs[dst], dst, tag=-5)
-        out = [None] * self.size
-        # Self-delivery is a local copy: accounted as a (rank, rank) message.
-        self.stats.record_message(
-            self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
-        )
-        out[self.rank] = objs[self.rank]
-        for src in range(self.size):
-            if src != self.rank:
-                out[src] = self.recv(src, tag=-5)
-        return out
+        with self._traced_collective("alltoall"):
+            for dst in range(self.size):
+                if dst != self.rank:
+                    self.send(objs[dst], dst, tag=-5)
+            out = [None] * self.size
+            # Self-delivery is a local copy: accounted as a (rank, rank) message.
+            self.stats.record_message(
+                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+            )
+            out[self.rank] = objs[self.rank]
+            for src in range(self.size):
+                if src != self.rank:
+                    out[src] = self.recv(src, tag=-5)
+            return out
 
     def alltoallv(
         self,
@@ -654,19 +709,20 @@ class Communicator:
         src_list = list(range(self.size)) if sources is None else list(sources)
         for src in src_list:
             self._check_peer(src, "source")
-        for dst in range(self.size):
-            if dst != self.rank and objs[dst] is not None:
-                self.send(objs[dst], dst, tag=-6)
-        out = [None] * self.size
-        if objs[self.rank] is not None:
-            self.stats.record_message(
-                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
-            )
-            out[self.rank] = objs[self.rank]
-        for src in src_list:
-            if src != self.rank:
-                out[src] = self.recv(src, tag=-6)
-        return out
+        with self._traced_collective("alltoallv"):
+            for dst in range(self.size):
+                if dst != self.rank and objs[dst] is not None:
+                    self.send(objs[dst], dst, tag=-6)
+            out = [None] * self.size
+            if objs[self.rank] is not None:
+                self.stats.record_message(
+                    self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+                )
+                out[self.rank] = objs[self.rank]
+            for src in src_list:
+                if src != self.rank:
+                    out[src] = self.recv(src, tag=-6)
+            return out
 
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
         """Reduce with *op* (default elementwise +) onto *root*."""

@@ -66,6 +66,7 @@ def run_spmd(
     fault_hook: Callable | None = None,
     faults: FaultPlan | None = None,
     transport: TransportPolicy | None = None,
+    trace: Any | None = None,
     max_restarts: int = 0,
     restartable: Callable[[BaseException], bool] | None = None,
     **kwargs: Any,
@@ -95,6 +96,13 @@ def run_spmd(
         A :class:`~repro.simmpi.comm.TransportPolicy` enabling the
         reliable transport (checksums, sequence numbers, bounded
         retransmission) on every channel.
+    trace:
+        A :class:`repro.trace.TraceRecorder` capturing per-rank spans
+        (compute, send/recv, collectives, waits, retransmissions) for
+        virtual-timeline analysis.  Zero-cost when None; bit-transparent
+        when set (identical results and traffic statistics).  Restart
+        attempts reset the recorder so the timeline describes the
+        successful attempt.
     max_restarts:
         How many times the whole world may be re-executed after a
         failure whose root cause satisfies *restartable* (default:
@@ -112,8 +120,10 @@ def run_spmd(
     while True:
         if faults is not None:
             faults.new_run()
+        if trace is not None:
+            trace.new_run()
         failure = _run_once(
-            nranks, fn, args, kwargs, timeout, fault_hook, faults, transport
+            nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -133,9 +143,12 @@ def _run_once(
     fault_hook: Callable | None,
     faults: FaultPlan | None,
     transport: TransportPolicy | None,
+    trace: Any | None = None,
 ) -> SpmdResult | RankFailure:
     world = World(nranks, timeout=timeout, faults=faults, transport=transport)
     world.fault_hook = fault_hook
+    if trace is not None:
+        trace.attach(world)
     values: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
     errors_lock = threading.Lock()

@@ -19,6 +19,16 @@ from dataclasses import dataclass, field
 __all__ = ["PhaseTraffic", "TrafficStats"]
 
 
+def _pair_key(src: int, dst: int) -> str:
+    """JSON-safe rendering of a rank pair: ``(0, 1)`` -> ``"0->1"``."""
+    return f"{src}->{dst}"
+
+
+def _parse_pair(key: str) -> tuple[int, int]:
+    src, _, dst = key.partition("->")
+    return int(src), int(dst)
+
+
 @dataclass
 class PhaseTraffic:
     """Aggregated traffic of one labelled phase."""
@@ -55,6 +65,52 @@ class PhaseTraffic:
         """Heaviest single src->dst flow (drives bisection-limited time)."""
         off = [b for (s, d), b in self.bytes_by_pair.items() if s != d]
         return max(off, default=0)
+
+    def as_dict(self) -> dict:
+        """JSON-safe export: tuple pair keys become ``"src->dst"`` strings.
+
+        The machine-readable companion of :meth:`TrafficStats.summary`,
+        shared with the trace subsystem's aggregate format; inverse of
+        :meth:`from_dict`.
+        """
+        return {
+            "bytes_by_pair": {
+                _pair_key(s, d): int(b) for (s, d), b in sorted(self.bytes_by_pair.items())
+            },
+            "messages_by_pair": {
+                _pair_key(s, d): int(m)
+                for (s, d), m in sorted(self.messages_by_pair.items())
+            },
+            "alltoall_rounds": self.alltoall_rounds,
+            "pt2pt_rounds": self.pt2pt_rounds,
+            "retransmits": self.retransmits,
+            "retransmit_bytes": self.retransmit_bytes,
+            "duplicates_discarded": self.duplicates_discarded,
+            "corrupt_detected": self.corrupt_detected,
+            "acks": self.acks,
+            "control_bytes": self.control_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseTraffic":
+        """Rebuild a :class:`PhaseTraffic` from :meth:`as_dict` output."""
+        ph = cls()
+        for key, b in data.get("bytes_by_pair", {}).items():
+            ph.bytes_by_pair[_parse_pair(key)] = int(b)
+        for key, m in data.get("messages_by_pair", {}).items():
+            ph.messages_by_pair[_parse_pair(key)] = int(m)
+        for name in (
+            "alltoall_rounds",
+            "pt2pt_rounds",
+            "retransmits",
+            "retransmit_bytes",
+            "duplicates_discarded",
+            "corrupt_detected",
+            "acks",
+            "control_bytes",
+        ):
+            setattr(ph, name, int(data.get(name, 0)))
+        return ph
 
 
 class TrafficStats:
@@ -156,6 +212,29 @@ class TrafficStats:
     def total_duplicates_discarded(self) -> int:
         with self._lock:
             return sum(p.duplicates_discarded for p in self._phases.values())
+
+    def as_dict(self) -> dict:
+        """JSON-safe export of every phase (see :meth:`PhaseTraffic.as_dict`).
+
+        One canonical machine-readable format for traffic statistics,
+        shared by the ``--json`` CLI output and the trace exports;
+        inverse of :meth:`from_dict`.
+        """
+        with self._lock:
+            return {
+                "phases": {
+                    name: self._phases[name].as_dict() for name in sorted(self._phases)
+                }
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficStats":
+        """Rebuild a :class:`TrafficStats` from :meth:`as_dict` output."""
+        stats = cls()
+        with stats._lock:
+            for name, ph in data.get("phases", {}).items():
+                stats._phases[name] = PhaseTraffic.from_dict(ph)
+        return stats
 
     def summary(self) -> str:
         """Multi-line human-readable report (used by benchmark output)."""

@@ -45,3 +45,29 @@ class TestMeasuredTraffic:
         )
         ratio = soi_a2a / std_total
         assert abs(ratio - 1.25 / 3.0) < 0.01
+
+
+class TestTraceRollups:
+    def test_structural_story_in_rollups(self):
+        from repro.bench import trace_rollups
+
+        tr = trace_rollups()
+        assert tr["soi"]["alltoall_epochs"] == 1
+        assert tr["transpose"]["alltoall_epochs"] == 3
+        for agg in tr.values():
+            assert agg["makespan_s"] > 0.0
+            assert agg["critical_path"]["coverage"] >= 0.95
+
+    def test_cached_per_problem_shape(self):
+        from repro.bench import trace_rollups
+
+        assert trace_rollups() is trace_rollups()
+        assert trace_rollups(n=1 << 13, nranks=4) is not trace_rollups()
+
+    def test_figure_sweeps_carry_trace_extras(self):
+        import json
+
+        fig = run_figure_sweep("Fig T", cluster("endeavor"), [2], ["SOI", "MKL"])
+        trace = fig.extras["trace"]
+        assert set(trace) == {"soi", "transpose"}
+        json.dumps(trace)  # JSON-safe for the --json CLI payloads

@@ -100,3 +100,61 @@ class TestSummary:
         assert stats.phase("p").total_bytes == 150
         assert stats.phase("p").offnode_bytes() == 100
         assert stats.total_bytes == 150
+
+
+class TestAsDictRoundTrip:
+    """JSON-safe export of traffic statistics (satellite of the trace PR)."""
+
+    def _stats_from_run(self):
+        def prog(comm):
+            with comm.phase("exchange"):
+                comm.alltoall([np.zeros(16) for _ in range(comm.size)])
+            with comm.phase("ring"):
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                comm.sendrecv(np.zeros(8), dest=right, source=left)
+
+        return run_spmd(3, prog).stats
+
+    def test_pair_keys_are_json_strings(self):
+        import json
+
+        d = self._stats_from_run().as_dict()
+        json.dumps(d)  # must serialise without a custom encoder
+        pairs = d["phases"]["exchange"]["bytes_by_pair"]
+        assert pairs  # traffic was recorded
+        assert all("->" in k for k in pairs)
+        assert pairs["0->1"] == 128
+
+    def test_round_trip_preserves_everything(self):
+        stats = self._stats_from_run()
+        clone = TrafficStats.from_dict(stats.as_dict())
+        assert clone.as_dict() == stats.as_dict()
+        assert clone.phase("exchange").bytes_by_pair == (
+            stats.phase("exchange").bytes_by_pair
+        )
+        assert clone.phase("exchange").alltoall_rounds == 1
+        assert clone.total_offnode_bytes == stats.total_offnode_bytes
+
+    def test_reliability_counters_survive_round_trip(self):
+        stats = TrafficStats()
+        stats.record_message("p", 0, 1, 100)
+        stats.record_retransmit("p", 0, 1, 100)
+        stats.record_corrupt("p")
+        stats.record_duplicate("p")
+        stats.record_ack("p", 12)
+        clone = TrafficStats.from_dict(stats.as_dict())
+        ph = clone.phase("p")
+        assert ph.retransmits == 1 and ph.retransmit_bytes == 100
+        assert ph.corrupt_detected == 1 and ph.duplicates_discarded == 1
+        assert ph.acks == 1 and ph.control_bytes == 12
+
+    def test_phase_traffic_as_dict_is_sorted(self):
+        from repro.simmpi.stats import PhaseTraffic
+
+        ph = PhaseTraffic()
+        ph.bytes_by_pair[(2, 0)] = 5
+        ph.bytes_by_pair[(0, 1)] = 3
+        d = ph.as_dict()
+        assert list(d["bytes_by_pair"]) == ["0->1", "2->0"]
+        assert PhaseTraffic.from_dict(d).bytes_by_pair == ph.bytes_by_pair

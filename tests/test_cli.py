@@ -1,5 +1,7 @@
 """Tests for the `python -m repro` figure-regeneration CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import SECTIONS, main
@@ -50,9 +52,70 @@ class TestCli:
             "table1",
             "snr",
             "traffic",
+            "trace",
             "fig5",
             "fig6",
             "fig7",
             "fig8",
             "fig9",
         }
+
+
+def _json_payload(out: str) -> dict:
+    """The JSON object `--json` appends after the text output."""
+    return json.loads(out[out.index("{\n") :])
+
+
+class TestJsonOutput:
+    def test_json_flag_appends_parseable_payload(self, capsys):
+        assert main(["snr", "traffic", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 7.2" in out  # text tables still printed
+        payload = _json_payload(out)
+        assert set(payload) == {"snr", "traffic"}
+        assert payload["snr"]["soi_snr_db"] > 280.0
+        assert payload["traffic"]["soi_alltoall_rounds"] == 1
+        assert payload["traffic"]["std_alltoall_rounds"] == 3
+
+    def test_traffic_payload_embeds_stats_as_dict(self, capsys):
+        assert main(["traffic", "--json"]) == 0
+        payload = _json_payload(capsys.readouterr().out)
+        phases = payload["traffic"]["soi_stats"]["phases"]
+        assert "alltoall" in phases
+        # Pair keys are the JSON-safe "src->dst" form.
+        assert all(
+            "->" in key for key in phases["alltoall"]["bytes_by_pair"]
+        )
+
+    def test_without_flag_no_json_dump(self, capsys):
+        assert main(["snr"]) == 0
+        assert "{\n" not in capsys.readouterr().out
+
+
+class TestTraceSection:
+    def test_timelines_and_epoch_counts(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "SOI (one all-to-all)" in out
+        assert "six-step (three all-to-alls)" in out
+        assert "ms virtual" in out
+        assert "1 vs 3 all-to-all epochs" in out
+
+    def test_trace_out_writes_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "soi.trace.json"
+        assert main(["trace", "--trace-out", str(path), "--json"]) == 0
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        payload = _json_payload(capsys.readouterr().out)
+        assert payload["trace"]["runs"]["soi"]["rollup"]["alltoall_epochs"] == 1
+        assert payload["trace"]["runs"]["transpose"]["rollup"]["alltoall_epochs"] == 3
+        assert payload["trace"]["trace_out"] == str(path)
+
+    def test_chaos_seed_puts_retransmits_on_timeline(self, capsys):
+        assert main(["trace", "--chaos-seed", "7", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos seed 7" in out
+        payload = _json_payload(out)
+        soi = payload["trace"]["runs"]["soi"]
+        assert soi["rollup"]["retransmits"] > 0
+        assert soi["snr_db"] > 280.0  # transport recovered the run
