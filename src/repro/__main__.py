@@ -248,6 +248,52 @@ def _trace(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _bench_micro(args: argparse.Namespace) -> dict:
+    """Measured wall-clock microbenchmarks; writes BENCH_PR3.json."""
+    from .bench import format_table, run_micro
+
+    payload = run_micro(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    rows = [
+        [
+            f"N=2^{r['n'].bit_length() - 1} P={r['p']}",
+            f"{r['engine_hit_us']:.0f}",
+            f"{r['baseline_noreuse_us']:.0f}",
+            f"{r['baseline_percall_us']:.0f}",
+            f"{r['speedup_vs_noreuse']:.2f}x",
+            f"{r['speedup_vs_percall']:.2f}x",
+        ]
+        for r in payload["soi"]
+    ]
+    print(
+        format_table(
+            ["case", "engine us", "no-reuse us", "warm us", "speedup", "vs warm"],
+            rows,
+            title="bench-micro — repro-backend soi_fft, measured wall clock",
+        )
+    )
+    head = payload["headline"]
+    print(
+        f"headline: {head['name']}: {head['speedup']:.2f}x vs no-reuse baseline "
+        f"({head['speedup_vs_warm_baseline']:.2f}x vs warm baseline)"
+    )
+    cons = payload["consistency"]
+    print(
+        f"consistency: max rel dev vs baseline {cons['engine_vs_baseline_max_rel']:.2e}, "
+        f"kernels bit-identical: {cons['kernels_bit_identical']}, "
+        f"dist == seq bitwise: {cons['dist_bitwise_equal_to_sequential']}"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR3.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
 SECTIONS = {
     "table1": _table1,
     "snr": _snr,
@@ -258,6 +304,7 @@ SECTIONS = {
     "fig7": _fig7,
     "fig8": lambda args: _fig_sweeps(["fig8"])["fig8"],
     "fig9": _fig9,
+    "bench-micro": _bench_micro,
 }
 
 
@@ -283,6 +330,24 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="trace section: write the SOI run as Chrome trace-event JSON to PATH",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help="bench-micro section: output JSON path (default BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--bench-quick",
+        action="store_true",
+        help="bench-micro section: small sizes / few reps (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--bench-reps",
+        metavar="N",
+        type=int,
+        default=None,
+        help="bench-micro section: repetitions per timed variant",
     )
     parser.add_argument(
         "--chaos-seed",

@@ -1,10 +1,13 @@
 """Benchmark harness shared by the per-figure benchmarks in benchmarks/."""
 
+from .micro import BENCH_SCHEMA, run_micro
 from .runner import FigureResult, measured_traffic, run_figure_sweep, trace_rollups
 from .tables import bar_chart, format_series, format_table
 from .workloads import chirp_signal, multitone, noisy_tones, random_complex, random_real
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "run_micro",
     "FigureResult",
     "measured_traffic",
     "run_figure_sweep",

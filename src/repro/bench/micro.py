@@ -1,0 +1,382 @@
+"""Measured wall-clock microbenchmarks: plan-cache engine vs. pre-PR code.
+
+Unlike :mod:`repro.perf` (the paper's analytical machine model) and
+:mod:`repro.trace` (virtual timelines), everything here is a real
+``time.perf_counter_ns`` measurement of this process.
+
+What is compared
+----------------
+``engine``
+    The current library: ``soi_fft(..., backend="repro")`` on the
+    plan-cache *hit* path — cached :class:`~repro.dft.plan.FftPlan`
+    objects, iterative Stockham kernels with precomputed stage tables,
+    precomputed SOI workspaces (cached einsum contraction path,
+    reciprocal demodulation, per-thread extended-input buffers).
+
+``baseline``
+    A frozen, faithful copy of the pre-plan-cache implementation,
+    embedded below so the comparison survives future rewrites of the
+    library: fresh ``FftPlan`` per backend call, bit-reversal radix-2
+    core built from per-stage ``np.concatenate``, recursive mixed-radix
+    driver recomputing factorisation / dense DFT matrices / twiddle
+    index tables per call, and a per-call ``np.einsum(...,
+    optimize=True)`` path search with demodulation by division.  Two
+    regimes are timed:
+
+    - ``percall``: the shared twiddle cache stays warm across calls —
+      the pre-PR steady state;
+    - ``noreuse``: the twiddle cache is cleared before every call — the
+      pre-PR cost of "re-running factorize, kernel dispatch, and cache
+      warming every time", i.e. what plan reuse actually saves.  This
+      regime is the headline comparison (FFTW's create-a-plan-once /
+      execute-many framing).
+
+Timing is min-of-reps with the variants interleaved round-robin in one
+process, which suppresses both one-off warm-up effects and slow drifts
+in machine load.  The harness also re-checks, on every run, that the
+engine and the frozen baseline still agree numerically (identical
+kernels; the only deviation is the documented reciprocal-demodulation
+multiply, a couple of ULPs) and that the distributed transform is
+bit-for-bit identical to the sequential one.
+
+``python -m repro bench-micro`` runs this and writes ``BENCH_PR3.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core.plan import SoiPlan, clear_soi_plan_cache, soi_plan_for
+from ..core.soi import soi_fft
+from ..dft import clear_plan_cache, fft as engine_fft, plan_cache_info
+from ..dft.naive import dft_matrix
+from ..dft.twiddle import clear_twiddle_cache, twiddles
+from ..parallel.soi_dist import soi_fft_distributed
+from ..simmpi.runtime import run_spmd
+from ..utils import bit_reverse_indices, factorize, is_power_of_two
+from .workloads import random_complex
+
+__all__ = ["run_micro", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro-bench-micro/1"
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-PR baseline (seed implementation, commit 20f31fb).
+# Deliberately NOT sharing code with repro.dft: this is the yardstick
+# the speedup is measured against and must not drift with the library.
+# ----------------------------------------------------------------------
+
+
+def _legacy_radix2(x: np.ndarray, sign: int) -> np.ndarray:
+    """Seed DIT kernel: bit-reversal gather + per-stage concatenate."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    a = x[..., bit_reverse_indices(n)]
+    batch_shape = a.shape[:-1]
+    m = 1
+    while m < n:
+        w = twiddles(2 * m, sign)[:m]
+        a = a.reshape(*batch_shape, n // (2 * m), 2, m)
+        even = a[..., 0, :]
+        odd = a[..., 1, :] * w
+        a = np.concatenate([even + odd, even - odd], axis=-1)
+        m *= 2
+    return a.reshape(*batch_shape, n)
+
+
+def _legacy_fft_any(x: np.ndarray, sign: int) -> np.ndarray:
+    """Seed mixed-radix driver: per-call factorize / DFT matrix / tables."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    if is_power_of_two(n):
+        return _legacy_radix2(x, sign)
+    p = factorize(n)[-1]
+    if p > 61:  # seed _MAX_DENSE_PRIME; bench sizes never hit Bluestein
+        raise ValueError(f"legacy baseline benchmark does not cover n={n}")
+    q = n // p
+    batch = x.shape[:-1]
+    a = x.reshape(*batch, p, q)
+    fp = dft_matrix(p) if sign == -1 else dft_matrix(p, inverse=True)
+    b = np.einsum("kj,...jq->...kq", fp, a)
+    w = twiddles(n, sign)
+    k1 = np.arange(p)[:, None]
+    j2 = np.arange(q)[None, :]
+    b *= w[(k1 * j2) % n]
+    c = _legacy_fft_any(np.ascontiguousarray(b), sign)
+    return np.ascontiguousarray(c.swapaxes(-1, -2)).reshape(*batch, n)
+
+
+class _LegacyFftPlan:
+    """Seed FftPlan: kernel dispatch + twiddle warm-up at construction."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        if n == 1 or is_power_of_two(n):
+            self.kernel = "radix2"
+        elif max(factorize(n)) <= 61:
+            self.kernel = "mixed_radix"
+        else:
+            raise ValueError(f"legacy baseline benchmark does not cover n={n}")
+        if n > 1:
+            twiddles(n, -1)
+            twiddles(n, +1)
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(x, dtype=np.complex128)
+        if self.kernel == "radix2":
+            return _legacy_radix2(arr, -1)
+        return _legacy_fft_any(arr, -1)
+
+
+def _legacy_backend_fft(x: np.ndarray) -> np.ndarray:
+    # Seed backends.py: a fresh FftPlan per call, as the pre-PR
+    # ``get_backend("repro").fft`` did.
+    return _LegacyFftPlan(np.asarray(x).shape[-1]).execute(x)
+
+
+def _legacy_soi_fft(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Seed sequential SOI pipeline (1-D), per-call allocations included."""
+    arr = np.ascontiguousarray(x, dtype=np.complex128)
+    xe = np.concatenate([arr, arr[: plan.b * plan.p]])
+    stride = plan.nu * plan.p
+    win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p)[::stride][
+        : plan.q_chunks
+    ]
+    winb = win.reshape(plan.q_chunks, plan.b, plan.p)
+    z = np.einsum("rbp,qbp->qrp", plan.coeffs, winb, optimize=True)
+    z = z.reshape(plan.m_over, plan.p)
+    v = _legacy_backend_fft(z)
+    segments = np.ascontiguousarray(np.swapaxes(v, -1, -2))
+    yt = _legacy_backend_fft(segments)
+    y = yt[:, : plan.m] / plan.demod
+    return y.reshape(plan.n)
+
+
+# ----------------------------------------------------------------------
+# Timing machinery
+# ----------------------------------------------------------------------
+
+
+def _race(
+    variants: dict[str, Callable[[], object]], reps: int, burst: int = 3
+) -> dict[str, float]:
+    """Best-of-*reps* wall-clock microseconds per variant, interleaved.
+
+    Round-robin interleaving means every variant samples the same load
+    epochs, and taking the minimum discards scheduler noise — the
+    standard recipe for stable single-process microbenchmarks.  Each
+    turn runs a short *burst* of individually-timed calls so a variant
+    is measured in its own steady cache state rather than right after a
+    competitor evicted it.
+    """
+    for fn in variants.values():  # one untimed warm-up each
+        fn()
+    best = {k: float("inf") for k in variants}
+    for _ in range(reps):
+        for name, fn in variants.items():
+            for _ in range(burst):
+                t0 = time.perf_counter_ns()
+                fn()
+                dt = time.perf_counter_ns() - t0
+                if dt < best[name]:
+                    best[name] = dt
+    return {k: v / 1e3 for k, v in best.items()}
+
+
+def _max_rel(a: np.ndarray, b: np.ndarray) -> float:
+    scale = float(np.max(np.abs(b)))
+    return float(np.max(np.abs(a - b))) / scale if scale else 0.0
+
+
+def _bench_soi(n: int, p: int, reps: int) -> dict:
+    plan = SoiPlan(n=n, p=p)
+    x = random_complex(n, seed=n % 9973)
+
+    def engine() -> np.ndarray:
+        # What a caller of the cached engine pays per repeated call:
+        # the SOI-plan cache lookup (hit) plus the hit-path transform.
+        return soi_fft(x, soi_plan_for(n, p), backend="repro")
+
+    def baseline_percall() -> np.ndarray:
+        # Pre-PR steady state: the caller holds a SoiPlan, but every
+        # backend call re-plans and the twiddle cache carries the rest.
+        return _legacy_soi_fft(x, plan)
+
+    def baseline_noreuse() -> np.ndarray:
+        # Pre-PR with no reuse of anything — the regime the plan cache
+        # exists to kill: rebuild the SOI plan and every warm cache.
+        clear_twiddle_cache()
+        return _legacy_soi_fft(x, SoiPlan(n=n, p=p))
+
+    times = _race(
+        {
+            "engine_hit": engine,
+            "baseline_percall": baseline_percall,
+            "baseline_noreuse": baseline_noreuse,
+        },
+        reps,
+    )
+    drift = _max_rel(engine(), baseline_percall())
+    return {
+        "n": n,
+        "p": p,
+        "engine_hit_us": times["engine_hit"],
+        "baseline_percall_us": times["baseline_percall"],
+        "baseline_noreuse_us": times["baseline_noreuse"],
+        "speedup_vs_noreuse": times["baseline_noreuse"] / times["engine_hit"],
+        "speedup_vs_percall": times["baseline_percall"] / times["engine_hit"],
+        "engine_vs_baseline_max_rel": drift,
+    }
+
+
+def _bench_kernel(shape: tuple[int, ...], reps: int) -> dict:
+    x = random_complex(int(np.prod(shape)), seed=sum(shape)).reshape(shape)
+
+    def engine() -> np.ndarray:
+        return engine_fft(x)  # cached-plan one-shot path
+
+    def baseline_percall() -> np.ndarray:
+        return _legacy_backend_fft(x)
+
+    def baseline_noreuse() -> np.ndarray:
+        clear_twiddle_cache()
+        return _legacy_backend_fft(x)
+
+    times = _race(
+        {
+            "engine_hit": engine,
+            "baseline_percall": baseline_percall,
+            "baseline_noreuse": baseline_noreuse,
+        },
+        reps,
+    )
+    bit_identical = bool(np.array_equal(engine(), baseline_percall()))
+    return {
+        "shape": list(shape),
+        "engine_hit_us": times["engine_hit"],
+        "baseline_percall_us": times["baseline_percall"],
+        "baseline_noreuse_us": times["baseline_noreuse"],
+        "speedup_vs_noreuse": times["baseline_noreuse"] / times["engine_hit"],
+        "speedup_vs_percall": times["baseline_percall"] / times["engine_hit"],
+        "bit_identical_to_baseline": bit_identical,
+    }
+
+
+def _bench_distributed(n: int, p: int, nranks: int, reps: int) -> dict:
+    plan = SoiPlan(n=n, p=p)
+    x = random_complex(n, seed=n % 9973)
+    blocks = x.reshape(nranks, -1)
+
+    def body(comm):
+        return soi_fft_distributed(comm, blocks[comm.rank], plan, backend="repro")
+
+    def dist() -> np.ndarray:
+        return np.concatenate(run_spmd(nranks, body).values)
+
+    times = _race({"engine_dist": dist}, reps)
+    seq = soi_fft(x, plan, backend="repro")
+    return {
+        "n": n,
+        "p": p,
+        "nranks": nranks,
+        "engine_dist_us": times["engine_dist"],
+        "includes_thread_spawn": True,
+        "bitwise_equal_to_sequential": bool(np.array_equal(dist(), seq)),
+    }
+
+
+def run_micro(quick: bool = False, reps: int | None = None) -> dict:
+    """Run the microbenchmark suite; returns the ``BENCH_PR3.json`` payload.
+
+    ``quick=True`` shrinks sizes and repetitions for CI smoke runs; the
+    schema of the payload is identical either way.
+    """
+    if reps is None:
+        reps = 3 if quick else 9
+    if quick:
+        soi_cases = [(1 << 12, 4)]
+        headline_case = (1 << 12, 4)
+        kernel_shapes = [(1024,), (8, 256), (1280,)]
+        dist_case = (1 << 12, 4, 4)
+    else:
+        soi_cases = [
+            (1 << 12, 4),
+            (1 << 13, 4),
+            (1 << 14, 4),
+            (1 << 14, 8),
+            (1 << 15, 8),
+        ]
+        # The per-call cost the plan cache removes (SoiPlan + FftPlan
+        # construction, twiddle/path warming) is roughly constant, so
+        # its relative weight — and the cache's measured win — is
+        # largest at the smallest transform; that is the case the
+        # create-once/execute-many framing is about.
+        headline_case = (1 << 12, 4)
+        kernel_shapes = [(4096,), (16, 1024), (20480,)]
+        dist_case = (1 << 14, 8, 4)
+
+    clear_plan_cache()
+    clear_soi_plan_cache()
+    soi_rows = [_bench_soi(n, p, reps) for n, p in soi_cases]
+    kernel_rows = [_bench_kernel(s, reps) for s in kernel_shapes]
+    dist_row = _bench_distributed(*dist_case, reps=max(3, reps // 2))
+
+    headline = next(
+        r for r in soi_rows if (r["n"], r["p"]) == headline_case
+    )
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "python -m repro bench-micro",
+        "config": {
+            "quick": quick,
+            "reps": reps,
+            "timer": "time.perf_counter_ns, min of reps, variants interleaved",
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "headline": {
+            "name": (
+                f"repeated same-size repro-backend soi_fft, "
+                f"N={headline['n']}, P={headline['p']}"
+            ),
+            "engine_hit_us": headline["engine_hit_us"],
+            "baseline_noreuse_us": headline["baseline_noreuse_us"],
+            "baseline_percall_us": headline["baseline_percall_us"],
+            "speedup": headline["speedup_vs_noreuse"],
+            "speedup_vs_warm_baseline": headline["speedup_vs_percall"],
+            "baseline": (
+                "frozen pre-plan-cache implementation; the headline "
+                "no-reuse regime rebuilds the SOI plan and re-warms "
+                "every cache per call (exactly what the plan cache "
+                "saves); the warm-baseline ratio — pre-PR code with a "
+                "caller-held SoiPlan — is reported alongside"
+            ),
+        },
+        "soi": soi_rows,
+        "kernels": kernel_rows,
+        "distributed": dist_row,
+        "consistency": {
+            "engine_vs_baseline_max_rel": max(
+                r["engine_vs_baseline_max_rel"] for r in soi_rows
+            ),
+            "engine_vs_baseline_note": (
+                "identical kernel arithmetic; sole deviation is the "
+                "documented reciprocal-demodulation multiply (~1 ulp)"
+            ),
+            "kernels_bit_identical": all(
+                r["bit_identical_to_baseline"] for r in kernel_rows
+            ),
+            "dist_bitwise_equal_to_sequential": dist_row[
+                "bitwise_equal_to_sequential"
+            ],
+            "plan_cache": plan_cache_info(),
+        },
+    }
+    return payload

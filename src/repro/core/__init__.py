@@ -13,7 +13,7 @@ Submodules
 
 from .windows import ReferenceWindow, TauSigmaWindow, GaussianWindow, window_from_spec
 from .design import WindowDesign, design_window, named_window, preset_design, NAMED_PRESETS
-from .plan import SoiPlan
+from .plan import SoiPlan, clear_soi_plan_cache, soi_plan_cache_info, soi_plan_for
 from .soi import soi_fft, soi_ifft, soi_fft2, soi_segment, soi_convolve
 from .accuracy import (
     snr_db,
@@ -38,6 +38,9 @@ __all__ = [
     "preset_design",
     "NAMED_PRESETS",
     "SoiPlan",
+    "soi_plan_for",
+    "clear_soi_plan_cache",
+    "soi_plan_cache_info",
     "soi_fft",
     "soi_ifft",
     "soi_fft2",

@@ -22,6 +22,7 @@ loop_b structure in Section 6).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -31,7 +32,12 @@ from ..utils import as_fraction, check_positive_int, require
 from .design import WindowDesign, design_window, preset_design
 from .windows import ReferenceWindow, window_from_spec
 
-__all__ = ["SoiPlan"]
+__all__ = [
+    "SoiPlan",
+    "soi_plan_for",
+    "clear_soi_plan_cache",
+    "soi_plan_cache_info",
+]
 
 
 @dataclass
@@ -81,6 +87,7 @@ class SoiPlan:
     ref_window: ReferenceWindow = field(init=False)
     coeffs: np.ndarray = field(init=False, repr=False)
     demod: np.ndarray = field(init=False, repr=False)
+    demod_recip: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.n = check_positive_int(self.n, "n")
@@ -115,6 +122,21 @@ class SoiPlan:
         )
         self.coeffs = self._coefficient_tensor()
         self.demod = self.ref_window.demodulation_values(self.m, self.b)
+        # Workspace: the demodulation is applied every transform; the
+        # reciprocal turns the per-call complex divide into a multiply
+        # (identical in both the sequential and distributed pipelines,
+        # so their bit-for-bit equality is preserved).
+        self.demod_recip = np.reciprocal(self.demod)
+        self.demod_recip.setflags(write=False)
+        # Workspaces filled lazily (and thread-safely — simmpi ranks are
+        # threads sharing one plan): einsum contraction paths keyed by
+        # window-tensor shape, and per-segment modulation phase tables.
+        self._workspace_lock = threading.Lock()
+        self._conv_paths: dict[tuple[int, ...], list] = {}
+        self._segment_phases: dict[int, np.ndarray] = {}
+        # Per-thread extended-input buffers (simmpi ranks are threads
+        # sharing one cached plan, so these cannot be plain attributes).
+        self._tls = threading.local()
 
     # ------------------------------------------------------------------
 
@@ -200,6 +222,102 @@ class SoiPlan:
         return np.ascontiguousarray(c)
 
     # ------------------------------------------------------------------
+    # Precomputed per-transform workspaces (shared by the sequential
+    # pipeline in core/soi.py and the distributed one in
+    # parallel/soi_dist.py so both execute literally the same einsum).
+
+    _CONV_SUBSCRIPTS = "rbp,...qbp->...qrp"
+
+    def contract_windows(self, winb: np.ndarray) -> np.ndarray:
+        """Stage-1 contraction ``z[.., q, r, p] = sum_b C[r,b,p] win[.., q,b,p]``.
+
+        The einsum contraction path is computed once per window-tensor
+        shape and cached on the plan; passing the frozen path back to
+        ``np.einsum`` performs the identical contraction order as
+        ``optimize=True`` (bit-for-bit same result) without re-running
+        the path optimiser on every transform.
+        """
+        key = winb.shape
+        path = self._conv_paths.get(key)
+        if path is None:
+            computed = np.einsum_path(
+                self._CONV_SUBSCRIPTS, self.coeffs, winb, optimize=True
+            )[0]
+            with self._workspace_lock:
+                path = self._conv_paths.setdefault(key, computed)
+        return np.einsum(self._CONV_SUBSCRIPTS, self.coeffs, winb, optimize=path)
+
+    _CONV_SUBSCRIPTS_T = "rbp,qbp->pqr"
+
+    def contract_windows_t(self, winb: np.ndarray) -> np.ndarray:
+        """Stage-1 contraction emitted pre-transposed: ``(P, q, r)``.
+
+        Same sums as :meth:`contract_windows` (2-D *winb* only) but the
+        output axes are ordered so that flattening the last two gives
+        the ``(P, M')`` column layout the fused ``fft_tt`` kernels
+        consume — the convolution output never passes through an
+        explicit transpose copy.  Each ``z[p, q, r]`` element is the
+        identical scalar sum, so values are bit-for-bit equal to the
+        transpose of the standard contraction.
+        """
+        key = ("t",) + winb.shape
+        path = self._conv_paths.get(key)
+        if path is None:
+            computed = np.einsum_path(
+                self._CONV_SUBSCRIPTS_T, self.coeffs, winb, optimize=True
+            )[0]
+            with self._workspace_lock:
+                path = self._conv_paths.setdefault(key, computed)
+        return np.einsum(self._CONV_SUBSCRIPTS_T, self.coeffs, winb, optimize=path)
+
+    def window_view(self, vec: np.ndarray, tail: np.ndarray, nchunks: int) -> np.ndarray:
+        """Stencil windows ``(nchunks, B, P)`` over ``vec ++ tail``, zero-copy.
+
+        Builds the extended input in a reusable per-thread buffer (no
+        allocation on the repeated-transform hot path) and returns the
+        strided read-only window view the convolution contracts against:
+        window q starts at sample ``q * nu * P`` and spans ``B * P``
+        samples.  *tail* is the periodic wrap (sequential: the first
+        ``B*P`` samples of *vec*) or the neighbour halo (distributed).
+        The view has exactly the shape and strides of the former
+        ``sliding_window_view`` construction, so the einsum it feeds is
+        bit-for-bit unchanged.
+        """
+        total = vec.size + tail.size
+        pool = getattr(self._tls, "xe", None)
+        if pool is None:
+            pool = self._tls.xe = {}
+        buf = pool.get(total)
+        if buf is None:
+            buf = pool[total] = np.empty(total, dtype=np.complex128)
+        buf[: vec.size] = vec
+        buf[vec.size :] = tail
+        it = buf.itemsize
+        return np.lib.stride_tricks.as_strided(
+            buf,
+            shape=(nchunks, self.b, self.p),
+            strides=(self.nu * self.p * it, self.p * it, it),
+            writeable=False,
+        )
+
+    def segment_phase(self, s: int) -> np.ndarray:
+        """Cached modulation phases ``exp(-2j*pi*s*k/P)`` for segment *s*.
+
+        One length-P table per requested segment (Section 5's
+        ``Phi_s`` diagonal has period P); cached because segment-of-
+        interest workloads re-extract the same few segments repeatedly.
+        """
+        if not 0 <= s < self.p:
+            raise IndexError(f"segment {s} out of range [0, {self.p})")
+        phase = self._segment_phases.get(s)
+        if phase is None:
+            computed = np.exp(-2j * np.pi * s * np.arange(self.p) / self.p)
+            computed.setflags(write=False)
+            with self._workspace_lock:
+                phase = self._segment_phases.setdefault(s, computed)
+        return phase
+
+    # ------------------------------------------------------------------
 
     def segment_slice(self, s: int) -> slice:
         """Output index range of segment *s*: ``[s*M, (s+1)*M)``."""
@@ -231,3 +349,78 @@ class SoiPlan:
             f"SoiPlan(n={self.n}, p={self.p}, beta={self.mu}/{self.nu}-1, "
             f"b={self.b}, window={self.ref_window!r})"
         )
+
+
+# ----------------------------------------------------------------------
+# SOI plan cache — the SoiPlan analogue of repro.dft.cache.plan_for.
+# ----------------------------------------------------------------------
+
+_SOI_CACHE_MAX = 16  # plans hold the (mu, B, P) tensor; keep the set small
+_soi_cache: "OrderedDict[tuple, SoiPlan]" = None  # type: ignore[assignment]
+_soi_lock = threading.Lock()
+_soi_hits = 0
+_soi_misses = 0
+
+
+def soi_plan_for(
+    n: int,
+    p: int = 8,
+    beta: float | Fraction = Fraction(1, 4),
+    window: "WindowDesign | ReferenceWindow | str | float" = "full",
+    b: int | None = None,
+) -> SoiPlan:
+    """A shared :class:`SoiPlan` for this configuration (thread-safe LRU).
+
+    Repeated same-configuration transforms reuse one plan object — and
+    with it every precomputed workspace it carries (coefficient tensor,
+    reciprocal demodulation, cached einsum contraction path, per-thread
+    extended-input buffers) — instead of rebuilding them per call.  Only
+    hashable window specs (preset names / target-digit floats) are
+    cached; exotic specs fall through to a fresh plan.  Safe to call
+    concurrently from simmpi rank threads.
+    """
+    global _soi_cache, _soi_hits, _soi_misses
+    if not isinstance(window, (str, float, int)) or isinstance(window, bool):
+        return SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
+    key = (n, p, as_fraction(beta), window, b)
+    with _soi_lock:
+        if _soi_cache is None:
+            from collections import OrderedDict
+
+            _soi_cache = OrderedDict()
+        plan = _soi_cache.get(key)
+        if plan is not None:
+            _soi_cache.move_to_end(key)
+            _soi_hits += 1
+            return plan
+    built = SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
+    with _soi_lock:
+        plan = _soi_cache.setdefault(key, built)
+        if plan is built:
+            _soi_misses += 1
+        else:
+            _soi_hits += 1  # another thread built it first; share theirs
+        _soi_cache.move_to_end(key)
+        while len(_soi_cache) > _SOI_CACHE_MAX:
+            _soi_cache.popitem(last=False)
+    return plan
+
+
+def clear_soi_plan_cache() -> None:
+    """Drop all cached SOI plans and reset the hit/miss counters."""
+    global _soi_cache, _soi_hits, _soi_misses
+    with _soi_lock:
+        if _soi_cache is not None:
+            _soi_cache.clear()
+        _soi_hits = 0
+        _soi_misses = 0
+
+
+def soi_plan_cache_info() -> dict[str, int]:
+    """Cache statistics: ``{"plans": ..., "hits": ..., "misses": ...}``."""
+    with _soi_lock:
+        return {
+            "plans": 0 if _soi_cache is None else len(_soi_cache),
+            "hits": _soi_hits,
+            "misses": _soi_misses,
+        }

@@ -16,7 +16,8 @@ as a fully vectorised four-stage pipeline:
 3. **Global reordering** ``P_perm^{P,N'}``: a transpose — the step that
    becomes THE single all-to-all in the distributed version.
 4. **Segment FFTs + demodulation**: P batched length-M' transforms,
-   keep the first M bins of each, divide by ``w_hat(k)``.
+   keep the first M bins of each, multiply by the plan's precomputed
+   ``1 / w_hat(k)`` diagonal.
 
 The sequential code is the reference the distributed implementation in
 :mod:`repro.parallel.soi_dist` must match bit-for-bit (it performs the
@@ -27,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dft.backends import FftBackend, get_backend
+from ..dft.backends import FftBackend, backend_fft_tt, get_backend
 from ..utils import as_complex_vector
 from .plan import SoiPlan
 
@@ -74,7 +75,15 @@ def soi_convolve(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
     per transform, exactly the convolution cost the performance model
     charges.  Batched over leading axes.
     """
-    xe = extended_input(x, plan)
+    arr = _as_batched(x, plan)
+    if arr.ndim == 1:
+        # Hot path: periodic extension into the plan's per-thread buffer
+        # plus a precomputed-stride window view — no allocation, same
+        # shape/strides as the generic construction (bit-identical).
+        winb = plan.window_view(arr, arr[: plan.b * plan.p], plan.q_chunks)
+        z = plan.contract_windows(winb)
+        return z.reshape(plan.m_over, plan.p)
+    xe = extended_input(arr, plan)
     stride = plan.nu * plan.p
     win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p, axis=-1)[
         ..., ::stride, :
@@ -82,7 +91,7 @@ def soi_convolve(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
     # win[..., q, :] = xe[..., q*nu*P : q*nu*P + B*P]; expose (b, p).
     batch = xe.shape[:-1]
     winb = win.reshape(*batch, plan.q_chunks, plan.b, plan.p)
-    z = np.einsum("rbp,...qbp->...qrp", plan.coeffs, winb, optimize=True)
+    z = plan.contract_windows(winb)  # cached contraction path workspace
     return z.reshape(*batch, plan.m_over, plan.p)
 
 
@@ -105,11 +114,21 @@ def soi_fft(
     be = get_backend(backend)
     arr = _as_batched(x, plan)
     batch = arr.shape[:-1]
-    z = soi_convolve(arr, plan)                     # (..., M', P)
-    v = be.fft(z)                                   # I_M' (x) F_P
-    segments = np.ascontiguousarray(np.swapaxes(v, -1, -2))  # P_perm^{P,N'}
+    if arr.ndim == 1:
+        # Zero-transpose chain: the convolution emits z pre-transposed
+        # in the (P, M') segment layout, and the backend's fused fft_tt
+        # transforms its columns in place of layout — stage 1 through
+        # P_perm^{P,N'} never copies through a transpose (values
+        # bit-identical to the generic path).
+        winb = plan.window_view(arr, arr[: plan.b * plan.p], plan.q_chunks)
+        z_t = plan.contract_windows_t(winb).reshape(plan.p, plan.m_over)
+        segments = backend_fft_tt(be, z_t)          # (I_M' (x) F_P) + P_perm
+    else:
+        z = soi_convolve(arr, plan)                 # (..., M', P)
+        v = be.fft(z)                               # I_M' (x) F_P
+        segments = np.ascontiguousarray(np.swapaxes(v, -1, -2))  # P_perm
     yt = be.fft(segments)                           # I_P (x) F_M'
-    y = yt[..., : plan.m] / plan.demod              # P_proj + W_hat^-1
+    y = yt[..., : plan.m] * plan.demod_recip        # P_proj + W_hat^-1
     return y.reshape(*batch, plan.n)
 
 
@@ -122,10 +141,16 @@ def soi_ifft(
 
     Uses the conjugation identity ``ifft(y) = conj(fft(conj(y))) / N``,
     so the inverse inherits the forward transform's communication
-    structure and accuracy unchanged.
+    structure, accuracy, and precomputed workspaces (cached contraction
+    path, reciprocal demodulation) unchanged.  The output conjugation
+    and 1/N scale are applied in place on the forward result — no extra
+    temporaries beyond the forward transform's own.
     """
     arr = _as_batched(y, plan)
-    return np.conj(soi_fft(np.conj(arr), plan, backend=backend)) / plan.n
+    out = soi_fft(np.conj(arr), plan, backend=backend)
+    np.conjugate(out, out=out)
+    out /= plan.n
+    return out
 
 
 def soi_fft2(
@@ -174,9 +199,9 @@ def soi_segment(
     vec = as_complex_vector(x)
     if vec.size != plan.n:
         raise ValueError(f"plan is for N={plan.n}, input has {vec.size} points")
-    phase = np.exp(-2j * np.pi * s * np.arange(plan.p) / plan.p)
-    modulated = vec * np.tile(phase, plan.m)
+    phase = plan.segment_phase(s)    # cached length-P modulation table
+    modulated = (vec.reshape(plan.m, plan.p) * phase).reshape(plan.n)
     z = soi_convolve(modulated, plan)
     x_tilde = z.sum(axis=1)          # DFT bin 0 across the P-axis
     yt = be.fft(x_tilde)
-    return yt[: plan.m] / plan.demod
+    return yt[: plan.m] * plan.demod_recip

@@ -15,8 +15,12 @@ complete, self-contained implementation:
   arbitrary (including prime) sizes via power-of-two convolution.
 - :func:`~repro.dft.real.rfft` / :func:`~repro.dft.real.irfft` — real
   input transforms via the half-size complex trick.
-- :class:`~repro.dft.plan.FftPlan` — size-dispatching plan with twiddle
-  caching, batched execution, and flop accounting.
+- :class:`~repro.dft.plan.FftPlan` — size-dispatching plan with
+  precomputed twiddle/schedule tables, batched execution, and flop
+  accounting.
+- :func:`~repro.dft.cache.plan_for` — the process-wide, thread-safe
+  LRU plan cache every hot path (backend, one-shots, SOI pipeline)
+  routes through.
 - :mod:`~repro.dft.backends` — registry so every higher-level algorithm
   can run on either this library or ``numpy.fft`` interchangeably.
 
@@ -30,6 +34,7 @@ from .mixed_radix import fft_mixed_radix
 from .bluestein import fft_bluestein
 from .real import rfft, irfft
 from .plan import FftPlan, fft, ifft
+from .cache import clear_plan_cache, plan_cache_info, plan_for, set_plan_cache_limit
 from .backends import FftBackend, get_backend, register_backend, available_backends
 from .flops import fft_flops, fft_gflops_rate
 
@@ -46,6 +51,10 @@ __all__ = [
     "FftPlan",
     "fft",
     "ifft",
+    "plan_for",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "set_plan_cache_limit",
     "FftBackend",
     "get_backend",
     "register_backend",

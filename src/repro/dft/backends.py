@@ -21,9 +21,17 @@ from typing import Callable
 
 import numpy as np
 
+from .cache import plan_for
 from .plan import FftPlan
 
-__all__ = ["FftBackend", "register_backend", "get_backend", "available_backends"]
+__all__ = [
+    "FftBackend",
+    "backend_fft_t",
+    "backend_fft_tt",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
 
 
 @dataclass(frozen=True)
@@ -32,11 +40,49 @@ class FftBackend:
 
     Both callables must follow NumPy conventions (forward unscaled,
     inverse scaled by 1/n) and accept arbitrary batch shapes.
+
+    ``fft_t`` is an optional fused kernel: given a 2-D ``(rows, n)``
+    array it returns the forward transform of each row *transposed*, as
+    a contiguous ``(n, rows)`` array.  Backends whose internal layout is
+    already transposed (the Stockham kernel) provide it to skip a
+    transpose copy; others leave it ``None`` and callers fall back to
+    ``fft`` + explicit transpose via :func:`backend_fft_t`.  Either way
+    the returned values must be bit-identical to the fallback.
     """
 
     name: str
     fft: Callable[[np.ndarray], np.ndarray]
     ifft: Callable[[np.ndarray], np.ndarray]
+    fft_t: Callable[[np.ndarray], np.ndarray] | None = None
+    fft_tt: Callable[[np.ndarray], np.ndarray] | None = None
+
+
+def backend_fft_t(backend: FftBackend, x2: np.ndarray) -> np.ndarray:
+    """Row-wise forward transform of 2-D *x2*, returned as ``(n, rows)``.
+
+    The SOI pipeline's segment stage wants the transform transposed (the
+    sequential ``P_perm`` reorder / the distributed all-to-all packing);
+    this helper routes to the backend's fused ``fft_t`` when available
+    and otherwise pays the explicit transpose the pipeline always paid.
+    """
+    if backend.fft_t is not None:
+        return backend.fft_t(x2)
+    return np.ascontiguousarray(np.swapaxes(backend.fft(x2), -1, -2))
+
+
+def backend_fft_tt(backend: FftBackend, xt: np.ndarray) -> np.ndarray:
+    """Column-wise forward transform of 2-D *xt*, output in the same layout.
+
+    The zero-transpose pipeline step: the SOI convolution can emit its
+    output pre-transposed (one transform per column), which is exactly
+    the layout the Stockham kernel consumes and produces natively.
+    Backends without a fused ``fft_tt`` pay the two transposes the
+    unfused pipeline always paid (values bit-identical either way).
+    """
+    if backend.fft_tt is not None:
+        return backend.fft_tt(xt)
+    out = backend.fft(np.ascontiguousarray(np.swapaxes(xt, 0, 1)))
+    return np.ascontiguousarray(np.swapaxes(out, 0, 1))
 
 
 _registry: dict[str, FftBackend] = {}
@@ -71,18 +117,35 @@ def available_backends() -> list[str]:
 
 
 def _repro_fft(x: np.ndarray) -> np.ndarray:
-    return FftPlan(np.asarray(x).shape[-1]).execute(x, inverse=False)
+    # The cached-plan hit path: repeated same-size transforms (the SOI
+    # pipeline's length-P and length-M' batches) skip plan construction.
+    return plan_for(np.asarray(x).shape[-1]).execute(x, inverse=False)
 
 
 def _repro_ifft(y: np.ndarray) -> np.ndarray:
-    return FftPlan(np.asarray(y).shape[-1]).execute(y, inverse=True)
+    return plan_for(np.asarray(y).shape[-1]).execute(y, inverse=True)
 
 
-register_backend(FftBackend("repro", _repro_fft, _repro_ifft))
+def _repro_fft_t(x2: np.ndarray) -> np.ndarray:
+    return plan_for(np.asarray(x2).shape[-1]).execute_t(x2)
+
+
+def _repro_fft_tt(xt: np.ndarray) -> np.ndarray:
+    return plan_for(np.asarray(xt).shape[0]).execute_tt(xt)
+
+
+register_backend(
+    FftBackend(
+        "repro", _repro_fft, _repro_ifft, fft_t=_repro_fft_t, fft_tt=_repro_fft_tt
+    )
+)
 register_backend(
     FftBackend(
         "numpy",
         lambda x: np.fft.fft(np.asarray(x, dtype=np.complex128), axis=-1),
         lambda y: np.fft.ifft(np.asarray(y, dtype=np.complex128), axis=-1),
+        # pocketfft along axis 0 runs the same per-vector kernel as
+        # axis -1 plus transpose (bit-identical, verified in tests).
+        fft_tt=lambda xt: np.fft.fft(np.asarray(xt, dtype=np.complex128), axis=0),
     )
 )

@@ -12,9 +12,18 @@ Chirp phases are computed from ``j^2 mod 2n`` (exact integer arithmetic)
 rather than ``j^2/n`` in floating point — for n in the millions the
 naive form loses several digits to argument reduction, which would
 poison the SOI accuracy experiments.
+
+The per-size set-up — the chirp vector and the forward FFT of the
+padded convolution kernel — is cached (LRU, thread-safe), so repeated
+transforms through a cached plan pay only the two data-dependent FFTs.
+The cached pieces are the same values the per-call path computed, so
+outputs are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -34,22 +43,48 @@ def _chirp(n: int, sign: int) -> np.ndarray:
     return np.exp(sign * 1j * np.pi * jj / n)
 
 
-def _bluestein_core(x: np.ndarray, sign: int) -> np.ndarray:
-    """Unscaled transform over the last axis; sign=-1 forward, +1 inverse."""
-    n = x.shape[-1]
-    if n == 1:
-        return x.copy()
+_SETUP_CACHE_MAX = 32
+_setup_cache: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+_setup_lock = threading.Lock()
+
+
+def _setup(n: int, sign: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Cached ``(chirp, fft(kernel), L)`` for one (size, direction)."""
+    key = (n, sign)
+    with _setup_lock:
+        hit = _setup_cache.get(key)
+        if hit is not None:
+            _setup_cache.move_to_end(key)
+            return hit
     a = _chirp(n, sign)  # e^(sign*i*pi*j^2/n)
-    u = x * a
     L = next_power_of_two(2 * n - 1)
     # Kernel v_j = conj-chirp, laid out circularly for negative lags.
     v = np.zeros(L, dtype=np.complex128)
     b = np.conj(a)
     v[:n] = b
     v[L - n + 1 :] = b[1:][::-1]
+    fv = _radix2_core(v, -1)
+    a.setflags(write=False)
+    fv.setflags(write=False)
+    entry = (a, fv, L)
+    with _setup_lock:
+        _setup_cache[key] = entry
+        _setup_cache.move_to_end(key)
+        while len(_setup_cache) > _SETUP_CACHE_MAX:
+            _setup_cache.popitem(last=False)
+    return entry
+
+
+def _bluestein_core(x: np.ndarray, sign: int) -> np.ndarray:
+    """Unscaled transform over the last axis; sign=-1 forward, +1 inverse."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    a, fv, L = _setup(n, sign)
+    u = x * a
     up = np.zeros(x.shape[:-1] + (L,), dtype=np.complex128)
     up[..., :n] = u
-    conv = _radix2_core(_radix2_core(up, -1) * _radix2_core(v, -1), +1) / L
+    conv = _radix2_core(_radix2_core(up, -1) * fv, +1) / L
     return conv[..., :n] * a
 
 

@@ -1,0 +1,100 @@
+"""The global FFT plan cache — "create a plan once, execute many times".
+
+Production FFT libraries (FFTW, MKL — the substrates of the paper's
+Fig. 2) amortise plan construction over thousands of executions.  The
+repro backend used to throw that away, building a fresh
+:class:`~repro.dft.plan.FftPlan` — re-running factorisation, kernel
+dispatch and cache warming — on *every* transform.  This module is the
+fix: a process-wide, thread-safe, LRU-bounded cache keyed by transform
+length that the ``"repro"`` backend, the one-shot :func:`repro.dft.fft`
+/ :func:`repro.dft.ifft` helpers and therefore the whole SOI pipeline
+route through.
+
+Thread safety is a hard requirement, not hygiene: :func:`repro.simmpi.run_spmd`
+ranks are *threads*, so a distributed FFT has every rank hammering this
+cache concurrently.  Lookups and insertions hold one lock; plans are
+constructed under the lock so a size is built exactly once and every
+caller shares the same plan object (``plan_for(n) is plan_for(n)``).
+Plan execution itself is lock-free — plans are immutable after
+construction apart from the internally-locked execution counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .plan import FftPlan
+
+__all__ = ["plan_for", "clear_plan_cache", "plan_cache_info", "set_plan_cache_limit"]
+
+_DEFAULT_MAX_PLANS = 64
+
+_lock = threading.Lock()
+_plans: OrderedDict[int, FftPlan] = OrderedDict()
+_max_plans = _DEFAULT_MAX_PLANS
+_hits = 0
+_misses = 0
+_evictions = 0
+
+
+def plan_for(n: int) -> FftPlan:
+    """The shared :class:`FftPlan` for length *n* (built once, LRU-cached).
+
+    Both directions execute through the same plan object
+    (``plan.execute(x, inverse=...)``), so one cache entry serves
+    ``fft`` and ``ifft`` alike.
+    """
+    global _hits, _misses, _evictions
+    with _lock:
+        plan = _plans.get(n)
+        if plan is not None:
+            _plans.move_to_end(n)
+            _hits += 1
+            return plan
+        # Build under the lock: construction is one-time work and doing
+        # it here guarantees a single shared plan object per size.
+        plan = FftPlan(n)
+        _plans[n] = plan
+        _plans.move_to_end(n)
+        _misses += 1
+        while len(_plans) > _max_plans:
+            _plans.popitem(last=False)
+            _evictions += 1
+        return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (tests/benchmarks)."""
+    global _hits, _misses, _evictions
+    with _lock:
+        _plans.clear()
+        _hits = 0
+        _misses = 0
+        _evictions = 0
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Cache statistics: entries, hits, misses, evictions, max_plans."""
+    with _lock:
+        return {
+            "entries": len(_plans),
+            "hits": _hits,
+            "misses": _misses,
+            "evictions": _evictions,
+            "max_plans": _max_plans,
+        }
+
+
+def set_plan_cache_limit(max_plans: int) -> int:
+    """Set the LRU bound (returns the previous bound); evicts immediately."""
+    global _max_plans, _evictions
+    if max_plans < 1:
+        raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+    with _lock:
+        previous = _max_plans
+        _max_plans = max_plans
+        while len(_plans) > _max_plans:
+            _plans.popitem(last=False)
+            _evictions += 1
+        return previous

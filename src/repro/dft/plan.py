@@ -3,23 +3,34 @@
 A :class:`FftPlan` mirrors how production FFT libraries (FFTW, MKL —
 the substrates in the paper's Fig. 2) are used: create a plan for a
 size once, execute it many times, possibly over batches.  The plan
-pre-selects the kernel (radix-2 / mixed-radix / Bluestein), pre-warms
-the twiddle caches, and keeps an execution counter used by the flop
-accounting in the benchmarks.
+pre-selects the kernel (radix-2 / mixed-radix / Bluestein) and
+precomputes everything size-dependent at construction time — the
+Stockham per-stage twiddle tables, the mixed-radix factor schedule
+(dense prime matrices + per-level twiddle tables), or the Bluestein
+chirp and kernel spectrum — so ``execute`` does no factorisation and
+no trigonometry, only the transform itself.
+
+Plans are thread-safe: execution touches no shared mutable state
+except the flop-accounting counter, which is lock-protected because
+the global plan cache (:mod:`repro.dft.cache`) shares one plan object
+across all ``run_spmd`` rank threads.
+
+One-shot :func:`fft` / :func:`ifft` route through that cache, so even
+casual callers get the create-once/execute-many cost profile.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..utils import check_positive_int, factorize, is_power_of_two
-from .bluestein import fft_bluestein
+from .bluestein import fft_bluestein, _setup as _bluestein_setup
 from .flops import fft_flops
-from .mixed_radix import fft_mixed_radix, _MAX_DENSE_PRIME
-from .radix2 import fft_radix2, ifft_radix2
-from .twiddle import twiddles
+from .mixed_radix import fft_mixed_radix, mixed_radix_schedule, _MAX_DENSE_PRIME
+from .stockham import stage_twiddles
 
 __all__ = ["FftPlan", "fft", "ifft"]
 
@@ -43,7 +54,8 @@ class FftPlan:
         ``"mixed_radix"`` or ``"bluestein"``.
     executions:
         Number of transforms executed through this plan (batch entries
-        count individually), for flop accounting.
+        count individually), for flop accounting.  Updated under a lock
+        so cached plans can be shared across simmpi rank threads.
     """
 
     n: int
@@ -53,17 +65,27 @@ class FftPlan:
 
     def __post_init__(self) -> None:
         self.n = check_positive_int(self.n, "n")
+        self._count_lock = threading.Lock()
         if self.n == 1 or is_power_of_two(self.n):
             self.kernel = "radix2"
         elif max(factorize(self.n)) <= _MAX_DENSE_PRIME:
             self.kernel = "mixed_radix"
         else:
             self.kernel = "bluestein"
-        # Warm the twiddle cache so the first execute() is not an outlier
-        # in timing loops (plans in FFTW/MKL do the same).
-        if self.n > 1:
-            twiddles(self.n, -1)
-            twiddles(self.n, +1)
+        # Precompute every size-dependent table so the first execute()
+        # is not an outlier in timing loops (plans in FFTW/MKL do the
+        # same).  Each warm-up populates a shared, thread-safe cache.
+        if self.kernel == "radix2" and self.n > 1:
+            stage_twiddles(self.n, -1)
+            stage_twiddles(self.n, +1)
+        elif self.kernel == "mixed_radix":
+            schedule = mixed_radix_schedule(self.n)
+            if schedule.tail == "radix2" and schedule.tail_n > 1:
+                stage_twiddles(schedule.tail_n, -1)
+                stage_twiddles(schedule.tail_n, +1)
+        elif self.kernel == "bluestein":
+            _bluestein_setup(self.n, -1)
+            _bluestein_setup(self.n, +1)
 
     def execute(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
         """Transform *x* over its last axis; length must equal ``self.n``.
@@ -76,13 +98,71 @@ class FftPlan:
                 f"plan is for length {self.n}, input last axis is {arr.shape[-1]}"
             )
         inv = self.inverse if inverse is None else inverse
-        if self.kernel == "radix2":
-            out = ifft_radix2(arr) if inv else fft_radix2(arr)
-        elif self.kernel == "mixed_radix":
+        if self.kernel == "mixed_radix":
             out = fft_mixed_radix(arr, inverse=inv)
-        else:
+        elif self.kernel == "bluestein":
             out = fft_bluestein(arr, inverse=inv)
-        self.executions += int(np.prod(arr.shape[:-1], dtype=np.int64)) or 1
+        else:
+            out = _fft_pow2(arr, inv)
+        batch = int(np.prod(arr.shape[:-1], dtype=np.int64)) or 1
+        with self._count_lock:
+            self.executions += batch
+        return out
+
+    def execute_t(self, x2: np.ndarray) -> np.ndarray:
+        """Forward-transform the rows of 2-D *x2*, returned as ``(n, rows)``.
+
+        Bit-identical to ``execute(x2).T`` made contiguous, but the
+        radix-2 kernel produces this layout natively (the Stockham
+        network's internal orientation), so the transpose copy is
+        skipped.  Backends use this for pipeline stages that consume
+        the transposed layout anyway (the SOI segment reorder).
+        """
+        arr = np.asarray(x2)
+        if arr.ndim != 2:
+            raise ValueError(f"execute_t needs a 2-D array, got shape {arr.shape}")
+        if arr.shape[-1] != self.n:
+            raise ValueError(
+                f"plan is for length {self.n}, input last axis is {arr.shape[-1]}"
+            )
+        if self.kernel != "radix2" or self.n == 1:
+            # execute() does the flop accounting on this path.
+            return np.ascontiguousarray(
+                np.swapaxes(self.execute(arr, inverse=False), -1, -2)
+            )
+        from .stockham import stockham_fft_t
+
+        out = stockham_fft_t(np.ascontiguousarray(arr, dtype=np.complex128), -1)
+        with self._count_lock:
+            self.executions += arr.shape[0]
+        return out
+
+    def execute_tt(self, xt: np.ndarray) -> np.ndarray:
+        """Forward-transform the *columns* of 2-D *xt*; output ``(n, cols)``.
+
+        The fully fused layout: input and output both column-major per
+        transform (the Stockham internal orientation), so neither an
+        entry nor an exit transpose is paid on the radix-2 path.
+        Bit-identical to ``execute(xt.T).T`` made contiguous.
+        """
+        arr = np.asarray(xt)
+        if arr.ndim != 2:
+            raise ValueError(f"execute_tt needs a 2-D array, got shape {arr.shape}")
+        if arr.shape[0] != self.n:
+            raise ValueError(
+                f"plan is for length {self.n}, input first axis is {arr.shape[0]}"
+            )
+        if self.kernel != "radix2" or self.n == 1:
+            # execute() does the flop accounting on this path.
+            out = self.execute(
+                np.ascontiguousarray(np.swapaxes(arr, 0, 1)), inverse=False
+            )
+            return np.ascontiguousarray(np.swapaxes(out, 0, 1))
+        from .stockham import stockham_fft_tt
+
+        out = stockham_fft_tt(arr, -1)
+        with self._count_lock:
+            self.executions += arr.shape[1]
         return out
 
     def __call__(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
@@ -97,13 +177,24 @@ class FftPlan:
         return f"FftPlan(n={self.n}, kernel={self.kernel!r}, executions={self.executions})"
 
 
+def _fft_pow2(arr: np.ndarray, inverse: bool) -> np.ndarray:
+    """Power-of-two transform with NumPy scaling conventions."""
+    from .radix2 import fft_radix2, ifft_radix2
+
+    return ifft_radix2(arr) if inverse else fft_radix2(arr)
+
+
 def fft(x: np.ndarray) -> np.ndarray:
-    """One-shot forward FFT over the last axis (any length)."""
+    """One-shot forward FFT over the last axis (any length, cached plan)."""
+    from .cache import plan_for  # local import: cache.py imports FftPlan
+
     arr = np.asarray(x)
-    return FftPlan(arr.shape[-1]).execute(arr, inverse=False)
+    return plan_for(arr.shape[-1]).execute(arr, inverse=False)
 
 
 def ifft(y: np.ndarray) -> np.ndarray:
-    """One-shot inverse FFT over the last axis (any length)."""
+    """One-shot inverse FFT over the last axis (any length, cached plan)."""
+    from .cache import plan_for  # local import: cache.py imports FftPlan
+
     arr = np.asarray(y)
-    return FftPlan(arr.shape[-1]).execute(arr, inverse=True)
+    return plan_for(arr.shape[-1]).execute(arr, inverse=True)

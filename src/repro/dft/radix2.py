@@ -1,4 +1,4 @@
-"""Iterative radix-2 FFT, vectorised across butterflies and batches.
+"""Power-of-two FFT entry points over the batched Stockham kernel.
 
 This is the workhorse kernel of the local FFT library: the SOI pipeline
 only ever needs power-of-two lengths when ``N``, ``P`` and the
@@ -6,19 +6,20 @@ oversampled ``M'`` are chosen the usual way (``beta = 1/4`` turns a
 power-of-two ``M`` into ``M' = 5*M/4``, handled by the mixed-radix
 driver which peels the factor 5 and lands back here).
 
-Algorithm: decimation-in-time with an upfront bit-reversal permutation,
-then ``log2 n`` butterfly stages.  Each stage is expressed as NumPy
-slicing over a ``(..., n/(2m), 2, m)`` view, so the Python-level loop
-runs only ``log2 n`` times regardless of batch size — the idiom the
-hpc-parallel guides call "vectorising the outer loop".
+The butterfly network lives in :mod:`repro.dft.stockham`: an iterative,
+self-sorting formulation whose stages read contiguous halves of a
+ping-pong buffer and write through ``out=`` ufunc calls — no bit
+reversal pass and no per-stage concatenation — while performing exactly
+the same floating-point operations as a textbook decimation-in-time
+kernel (outputs are bit-for-bit identical to one).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..utils import bit_reverse_indices, is_power_of_two
-from .twiddle import twiddles
+from ..utils import is_power_of_two
+from .stockham import stockham_fft
 
 __all__ = ["fft_radix2", "ifft_radix2"]
 
@@ -29,20 +30,7 @@ def _radix2_core(x: np.ndarray, sign: int) -> np.ndarray:
     *x* must already be complex128 with power-of-two last dimension.
     Returns a new array; the input is not modified.
     """
-    n = x.shape[-1]
-    if n == 1:
-        return x.copy()
-    a = x[..., bit_reverse_indices(n)]
-    batch_shape = a.shape[:-1]
-    m = 1
-    while m < n:
-        w = twiddles(2 * m, sign)[:m]
-        a = a.reshape(*batch_shape, n // (2 * m), 2, m)
-        even = a[..., 0, :]
-        odd = a[..., 1, :] * w
-        a = np.concatenate([even + odd, even - odd], axis=-1)
-        m *= 2
-    return a.reshape(*batch_shape, n)
+    return stockham_fft(x, sign)
 
 
 def fft_radix2(x: np.ndarray) -> np.ndarray:
@@ -55,7 +43,7 @@ def fft_radix2(x: np.ndarray) -> np.ndarray:
     n = arr.shape[-1]
     if not is_power_of_two(n):
         raise ValueError(f"fft_radix2 requires a power-of-two length, got {n}")
-    return _radix2_core(arr, sign=-1)
+    return stockham_fft(arr, sign=-1)
 
 
 def ifft_radix2(y: np.ndarray) -> np.ndarray:
@@ -64,4 +52,4 @@ def ifft_radix2(y: np.ndarray) -> np.ndarray:
     n = arr.shape[-1]
     if not is_power_of_two(n):
         raise ValueError(f"ifft_radix2 requires a power-of-two length, got {n}")
-    return _radix2_core(arr, sign=+1) / n
+    return stockham_fft(arr, sign=+1) / n

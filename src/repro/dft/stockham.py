@@ -1,0 +1,377 @@
+"""Iterative batched Stockham radix-2 kernel (the plan-cache hot path).
+
+The decimation-in-time butterfly network here is *operation-for-operation
+identical* to the classic bit-reversal kernel this module replaced —
+every butterfly pairs the same two intermediate values with the same
+twiddle factor, so outputs are bit-for-bit unchanged — but the Stockham
+ordering folds the permutation into the stage-by-stage data movement:
+
+- no up-front bit-reversal gather (a full strided pass on its own);
+- every stage reads two contiguous halves of a ping-pong buffer and
+  writes with ``out=`` ufunc calls — no per-stage ``np.concatenate``
+  allocation, and only three passes over the data per stage;
+- batches are carried on the *fastest* axis (``(K, m, batch)`` layout),
+  so even the early small-``m`` stages stream long contiguous runs.
+
+Invariant of the ``(K, m, nb)`` layout: after the stage with half-size
+``m``, entry ``Y[k, r, i]`` holds bin ``r`` of the length-``m`` DFT of
+the decimated subsequence ``x[i, k::K]``.  The first stage is a pure
+reshape (``m = 1`` DFTs are the samples themselves) and the last stage
+(``K = 1``) leaves the transform in natural order — self-sorting.
+
+Per-stage twiddle tables (``exp(sign*2j*pi*k/2m)``, ``k < m``) are
+precomputed once per size and cached; :class:`~repro.dft.plan.FftPlan`
+warms them at plan-construction time so plan execution never pays trig.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .twiddle import twiddles
+
+__all__ = [
+    "stockham_fft",
+    "stockham_fft_t",
+    "stockham_fft_tt",
+    "stage_twiddles",
+    "clear_stage_cache",
+]
+
+_STAGE_CACHE_MAX = 256
+_stage_cache: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+_stage_lock = threading.Lock()
+
+# Batch-expanded twiddle rows (``np.repeat(w, nb)``) let every stage run
+# three fully contiguous ufunc passes even for small batch counts, where
+# the broadcast multiply's inner loop would be short.  They cost n*nb
+# complex values per (size, batch) pair, so only modest problems are
+# cached; larger ones use the broadcast path (bit-identical either way —
+# the same value pairs are multiplied).
+_TILE_MAX_ELEMENTS = 1 << 17
+_TILE_CACHE_MAX = 32
+_tile_cache: OrderedDict[tuple[int, int, int], tuple] = OrderedDict()
+_tile_lock = threading.Lock()
+
+# Ping-pong scratch reuse: the kernel's two stage buffers plus the
+# twiddle-product temporary are fully overwritten every stage, so they
+# can be recycled across calls of the same (n, nb) — repeated same-size
+# transforms (the plan-cache hit path) then allocate nothing.  Buffers
+# are thread-local because simmpi ranks are threads running concurrent
+# transforms; each thread keeps a tiny LRU of recent problem sizes.
+_SCRATCH_PER_THREAD = 4
+_SCRATCH_MAX_ELEMENTS = 1 << 18  # ~10 MiB per pooled entry; beyond that, allocate
+_scratch_tls = threading.local()
+
+
+def _scratch_buffers(total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two length-*total* stage buffers + a half-length temp (recycled)."""
+    if total > _SCRATCH_MAX_ELEMENTS:
+        return (
+            np.empty(total, dtype=np.complex128),
+            np.empty(total, dtype=np.complex128),
+            np.empty(total // 2, dtype=np.complex128),
+        )
+    pool = getattr(_scratch_tls, "pool", None)
+    if pool is None:
+        pool = _scratch_tls.pool = OrderedDict()
+    bufs = pool.get(total)
+    if bufs is None:
+        bufs = (
+            np.empty(total, dtype=np.complex128),
+            np.empty(total, dtype=np.complex128),
+            np.empty(total // 2, dtype=np.complex128),
+        )
+        pool[total] = bufs
+        while len(pool) > _SCRATCH_PER_THREAD:
+            pool.popitem(last=False)
+    else:
+        pool.move_to_end(total)
+    return bufs
+
+
+def stage_twiddles(n: int, sign: int) -> tuple:
+    """Per-stage twiddle tables for a length-*n* radix-2 transform.
+
+    Returns one ``(w_row, w_col)`` pair per butterfly stage
+    ``m = 1, 2, 4, ..., n/2`` where ``w_row`` has shape ``(m,)`` and
+    ``w_col`` is the same table as an ``(m, 1)`` column (both read-only
+    views into the shared twiddle cache).  The ``m = 1`` entry is
+    ``None``: its twiddle is exactly ``1`` and the kernel skips the
+    multiply altogether.
+    """
+    key = (n, sign)
+    with _stage_lock:
+        hit = _stage_cache.get(key)
+        if hit is not None:
+            _stage_cache.move_to_end(key)
+            return hit
+    stages = []
+    m = 1
+    while m < n:
+        if m == 1:
+            stages.append(None)
+        else:
+            w = twiddles(2 * m, sign)[:m]
+            stages.append((w, w.reshape(m, 1)))
+        m *= 2
+    table = tuple(stages)
+    with _stage_lock:
+        _stage_cache[key] = table
+        _stage_cache.move_to_end(key)
+        while len(_stage_cache) > _STAGE_CACHE_MAX:
+            _stage_cache.popitem(last=False)
+    return table
+
+
+def clear_stage_cache() -> None:
+    """Drop the per-size stage tables (tests and benchmarks)."""
+    with _stage_lock:
+        _stage_cache.clear()
+    with _tile_lock:
+        _tile_cache.clear()
+
+
+def _tiled_twiddles(n: int, sign: int, nb: int) -> tuple:
+    """Per-stage ``repeat(w, nb)`` rows for the batched kernel (cached)."""
+    key = (n, sign, nb)
+    with _tile_lock:
+        hit = _tile_cache.get(key)
+        if hit is not None:
+            _tile_cache.move_to_end(key)
+            return hit
+    tiles = []
+    for stage in stage_twiddles(n, sign):
+        if stage is None:
+            tiles.append(None)
+        else:
+            tile = np.repeat(stage[0], nb)
+            tile.setflags(write=False)
+            tiles.append(tile)
+    table = tuple(tiles)
+    with _tile_lock:
+        _tile_cache[key] = table
+        _tile_cache.move_to_end(key)
+        while len(_tile_cache) > _TILE_CACHE_MAX:
+            _tile_cache.popitem(last=False)
+    return table
+
+
+def _stockham_single(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Single-transform path: ``(K, m)`` layout, no batch axis."""
+    src = x2.reshape(n, 1)
+    stages = stage_twiddles(n, sign)
+    out = np.empty(n, dtype=np.complex128)
+    _, ping, tmp = _scratch_buffers(n)
+    # Ping-pong parity chosen so the LAST stage lands in the fresh
+    # output buffer — pooled scratch is recycled and must not escape.
+    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
+    m, big_k, bi = 1, n, 0
+    for stage in stages:
+        half = big_k // 2
+        e = src[:half]
+        o = src[half:]
+        dst = bufs[bi].reshape(half, 2 * m)
+        if stage is None:
+            t = o
+        else:
+            t = tmp.reshape(half, m)
+            np.multiply(o, stage[0], out=t)
+        np.add(e, t, out=dst[:, :m])
+        np.subtract(e, t, out=dst[:, m:])
+        src = dst
+        bi ^= 1
+        m *= 2
+        big_k = half
+    return src.reshape(n)
+
+
+def _stockham_core(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Butterfly network in the ``(K, m, nb)`` layout, batch on the fast axis.
+
+    Returns the transform in its natural internal layout — a contiguous
+    ``(n, nb)`` array whose column ``i`` is the transform of row ``i`` of
+    *x2*.  Callers that want the conventional ``(nb, n)`` result pay one
+    transpose copy (:func:`_stockham_batched`); callers that want the
+    transposed layout anyway (the SOI pipeline's segment stage, the
+    mixed-radix output interleave) use this directly and skip it.
+    """
+    nb = x2.shape[0]
+    tiles = _tiled_twiddles(n, sign, nb) if n * nb <= _TILE_MAX_ELEMENTS else None
+    stages = stage_twiddles(n, sign)
+    total = n * nb
+    out = np.empty(total, dtype=np.complex128)
+    hold, ping, tmp = _scratch_buffers(total)
+    np.copyto(hold.reshape(n, nb), x2.T)  # the layout transpose, into scratch
+    src = hold.reshape(n, 1, nb)
+    # Ping-pong parity chosen so the LAST stage lands in the fresh
+    # output buffer — pooled scratch is recycled and must not escape.
+    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
+    m, big_k, bi = 1, n, 0
+    for idx, stage in enumerate(stages):
+        half = big_k // 2
+        e = src[:half]
+        o = src[half:]
+        dst = bufs[bi].reshape(half, 2 * m, nb)
+        if stage is None:
+            t = o
+        else:
+            t = tmp.reshape(half, m, nb)
+            if tiles is not None:
+                # Flattened (half, m*nb) view: contiguous multiply with a
+                # precomputed repeat(w, nb) row — same value pairs as the
+                # broadcast product, so bit-identical output.
+                np.multiply(
+                    o.reshape(half, m * nb), tiles[idx], out=t.reshape(half, m * nb)
+                )
+            else:
+                np.multiply(o, stage[1], out=t)
+        np.add(e, t, out=dst[:, :m])
+        np.subtract(e, t, out=dst[:, m:])
+        src = dst
+        bi ^= 1
+        m *= 2
+        big_k = half
+    return src.reshape(n, nb)
+
+
+def _stockham_core_t(xt: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Core network for input already in the ``(n, nb)`` column layout.
+
+    *xt* holds one transform per column — exactly the internal Stockham
+    orientation — so the entry transpose of :func:`_stockham_core`
+    disappears entirely: stage 0 reads *xt* in place (it is never
+    written) and the remaining stages ping-pong through scratch.
+    Output identical to ``_stockham_core(xt.T, ...)`` bit for bit.
+    """
+    nb = xt.shape[1]
+    tiles = _tiled_twiddles(n, sign, nb) if n * nb <= _TILE_MAX_ELEMENTS else None
+    stages = stage_twiddles(n, sign)
+    total = n * nb
+    out = np.empty(total, dtype=np.complex128)
+    _, ping, tmp = _scratch_buffers(total)
+    src = xt[:, None, :]  # (n, 1, nb) view, works for strided column slices
+    # Ping-pong parity chosen so the LAST stage lands in the fresh
+    # output buffer — pooled scratch is recycled and must not escape.
+    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
+    m, big_k, bi = 1, n, 0
+    for idx, stage in enumerate(stages):
+        half = big_k // 2
+        e = src[:half]
+        o = src[half:]
+        dst = bufs[bi].reshape(half, 2 * m, nb)
+        if stage is None:
+            t = o
+        else:
+            t = tmp.reshape(half, m, nb)
+            if tiles is not None:
+                np.multiply(
+                    o.reshape(half, m * nb), tiles[idx], out=t.reshape(half, m * nb)
+                )
+            else:
+                np.multiply(o, stage[1], out=t)
+        np.add(e, t, out=dst[:, :m])
+        np.subtract(e, t, out=dst[:, m:])
+        src = dst
+        bi ^= 1
+        m *= 2
+        big_k = half
+    return src.reshape(n, nb)
+
+
+# Cache blocking: one transform's ping-pong working set is ~2.5 * n * nb
+# complex values; past this element count it overflows L2 and every
+# butterfly stage streams from L3/DRAM.  Batch rows are independent, so
+# large batches are processed in groups small enough to keep the stage
+# passes cache-resident.  Grouping changes which SIMD lane computes each
+# element, never the operands — outputs are bit-identical.
+_GROUP_MAX_ELEMENTS = 1 << 15
+
+
+def _stockham_core_grouped(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Core network, cache-blocked over the batch axis; output ``(n, nb)``."""
+    nb = x2.shape[0]
+    if n * nb <= _GROUP_MAX_ELEMENTS or _GROUP_MAX_ELEMENTS // n == 0:
+        return _stockham_core(x2, n, sign)
+    g = _GROUP_MAX_ELEMENTS // n
+    out = np.empty((n, nb), dtype=np.complex128)
+    for s in range(0, nb, g):
+        out[:, s : s + g] = _stockham_core(x2[s : s + g], n, sign)
+    return out
+
+
+def _stockham_core_t_grouped(xt: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Column-layout core, cache-blocked over the batch axis."""
+    nb = xt.shape[1]
+    if n * nb <= _GROUP_MAX_ELEMENTS or _GROUP_MAX_ELEMENTS // n == 0:
+        return _stockham_core_t(xt, n, sign)
+    g = _GROUP_MAX_ELEMENTS // n
+    out = np.empty((n, nb), dtype=np.complex128)
+    for s in range(0, nb, g):
+        out[:, s : s + g] = _stockham_core_t(xt[:, s : s + g], n, sign)
+    return out
+
+
+def _stockham_batched(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+    """Batched path: core network plus the transpose back to ``(nb, n)``."""
+    return np.ascontiguousarray(_stockham_core_grouped(x2, n, sign).T)
+
+
+def stockham_fft_tt(xt: np.ndarray, sign: int) -> np.ndarray:
+    """Transform each *column* of 2-D *xt*, returned as ``(n, nb)``.
+
+    The fully fused variant: input already column-major per transform
+    (the Stockham internal layout) and output in the same orientation —
+    neither the entry nor the exit transpose of :func:`stockham_fft` is
+    paid.  Values are bit-identical to ``stockham_fft(xt.T, sign).T``.
+    """
+    n, nb = xt.shape
+    if n == 1:
+        return np.array(xt, dtype=np.complex128, copy=True)
+    if nb == 1:
+        flat = np.ascontiguousarray(xt.reshape(n), dtype=np.complex128)
+        return _stockham_single(flat, n, sign).reshape(n, 1)
+    return _stockham_core_t_grouped(np.asarray(xt, dtype=np.complex128), n, sign)
+
+
+def stockham_fft_t(x2: np.ndarray, sign: int) -> np.ndarray:
+    """Transform each row of 2-D *x2*, returned transposed as ``(n, nb)``.
+
+    Column ``i`` of the result is the transform of row ``i`` — the same
+    values :func:`stockham_fft` produces, minus the final transpose copy
+    (a pure data-movement saving, so consumers of either layout see
+    bit-identical numbers).
+    """
+    nb, n = x2.shape
+    if n == 1:
+        return np.ascontiguousarray(x2.T)
+    x2 = np.ascontiguousarray(x2)
+    if nb == 1:
+        return _stockham_single(x2.reshape(n), n, sign).reshape(n, 1)
+    return _stockham_core_grouped(x2, n, sign)
+
+
+def stockham_fft(x: np.ndarray, sign: int) -> np.ndarray:
+    """Unscaled radix-2 transform over the last axis of *x*.
+
+    *x* must be complex128 with a power-of-two last dimension (the
+    contract of the former bit-reversal core).  ``sign=-1`` is the
+    forward transform, ``sign=+1`` the unscaled inverse.  Returns a new
+    array; the input is never modified.
+    """
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    batch = x.shape[:-1]
+    nb = 1
+    for dim in batch:
+        nb *= dim
+    x2 = np.ascontiguousarray(x).reshape(nb, n)
+    if nb == 1:
+        out = _stockham_single(x2.reshape(n), n, sign)
+    else:
+        out = _stockham_batched(x2, n, sign)
+    return out.reshape(*batch, n)

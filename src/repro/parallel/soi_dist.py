@@ -31,7 +31,7 @@ import numpy as np
 
 from ..core.accuracy import error_budget
 from ..core.plan import SoiPlan
-from ..dft.backends import FftBackend, get_backend
+from ..dft.backends import FftBackend, backend_fft_tt, get_backend
 from ..dft.flops import fft_flops, soi_convolution_flops
 from ..simmpi.comm import Communicator
 from ..trace.spans import TraceRecorder
@@ -152,17 +152,14 @@ def soi_fft_distributed(
             )
         else:
             halo = comm.sendrecv(vec[: plan.halo].copy(), dest=left, source=right)
-    xe = np.concatenate([vec, halo])
 
     # -- 2. convolution: this rank's block-rows of z = W x. --------------
-    stride = plan.nu * plan.p
     q_local = layout["chunks_per_rank"]
-    win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p)[::stride][
-        :q_local
-    ]
-    winb = win.reshape(q_local, plan.b, plan.p)
-    z = np.einsum("rbp,qbp->qrp", plan.coeffs, winb, optimize=True)
-    z = z.reshape(layout["rows_per_rank"], plan.p)
+    # Same per-thread extended-input workspace and cached contraction
+    # path as the sequential pipeline, so both perform literally the
+    # same einsum on identically-strided windows (bit-for-bit equality).
+    winb = plan.window_view(vec, halo, q_local)
+    z_t = plan.contract_windows_t(winb).reshape(plan.p, layout["rows_per_rank"])
     comm.trace_compute(
         "convolve",
         soi_convolution_flops(layout["rows_per_rank"] * plan.p, plan.b),
@@ -170,27 +167,30 @@ def soi_fft_distributed(
     )
 
     # -- 3. small local FFTs: (I_M' (x) F_P) on local rows. ---------------
-    v = be.fft(z)
+    # The convolution already emitted z pre-transposed, (P, rows), and
+    # the fused fft_tt keeps that layout: exactly the segment-major
+    # orientation the all-to-all delivers, so neither the transform nor
+    # packing pays a copy (values bit-identical to fft + transposes).
+    v_t = backend_fft_tt(be, z_t)
     comm.trace_compute("fft-p", layout["rows_per_rank"] * fft_flops(plan.p))
 
-    # -- 4. THE all-to-all: deliver segment columns to their owners. ------
+    # -- 4. THE all-to-all: deliver segment rows to their owners. ---------
     with comm.phase("alltoall"):
-        sendbufs = [
-            np.ascontiguousarray(v[:, d * s_per : (d + 1) * s_per])
-            for d in range(comm.size)
-        ]
+        # Zero-copy packing: rank d owns segments [d*S, (d+1)*S), which
+        # are contiguous row blocks of the transposed transform — one
+        # reshape yields every destination slice as a view.
+        sendbufs = list(v_t.reshape(comm.size, s_per, -1))
         if verify:
             pieces = verified_alltoall(comm, sendbufs, rounds=verify_rounds)
         else:
             pieces = comm.alltoall(sendbufs)
-    # pieces[src] holds rows [src*rows_per_rank, ...) for my segments.
-    x_tilde = np.concatenate(pieces, axis=0)  # (M', S), column s' = segment
+    # pieces[src] is (S, rows_per_rank): my segments, src's row range.
 
     # -- 5. segment FFTs + demodulation (in-order output). ----------------
-    segs = np.ascontiguousarray(x_tilde.T)  # (S, M')
+    segs = np.concatenate(pieces, axis=1)  # (S, M'), rows in src order
     yt = be.fft(segs)
     comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
-    y_local = yt[:, : plan.m] / plan.demod[None, :]
+    y_local = yt[:, : plan.m] * plan.demod_recip[None, :]
     y_local = y_local.reshape(block)
     if verify:
         parseval_check(
@@ -218,7 +218,10 @@ def soi_ifft_distributed(
     Conjugation identity ``ifft(y) = conj(fft(conj(y))) / N`` — because
     the conjugation is elementwise and local, the inverse has exactly
     the same single-all-to-all communication structure as the forward
-    transform.  Collective; block layout identical to
+    transform, and shares its precomputed workspaces (cached
+    contraction path, reciprocal demodulation).  The output conjugation
+    and 1/N scale run in place on the forward result — no extra
+    temporaries.  Collective; block layout identical to
     :func:`soi_fft_distributed`.
     """
     vec = np.ascontiguousarray(y_local, dtype=np.complex128)
@@ -226,4 +229,6 @@ def soi_ifft_distributed(
         comm, np.conj(vec), plan, backend=backend,
         verify=verify, verify_rounds=verify_rounds, trace=trace,
     )
-    return np.conj(forward) / plan.n
+    np.conjugate(forward, out=forward)
+    forward /= plan.n
+    return forward

@@ -1,0 +1,181 @@
+"""Tests for the precomputed SOI workspaces and the SOI plan cache.
+
+The workspaces (cached einsum contraction paths, the per-thread
+extended-input buffer, reciprocal demodulation, segment phase tables)
+are pure caching: every test here pins the invariant that they change
+*where* numbers come from, never the numbers themselves — including
+across the sequential/distributed split, the ``verify=True`` self-check
+path and the ``trace=`` instrumentation path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SoiPlan,
+    clear_soi_plan_cache,
+    soi_plan_cache_info,
+    soi_plan_for,
+)
+from repro.core.soi import extended_input, soi_convolve, soi_fft, soi_ifft
+from repro.parallel import soi_fft_distributed, soi_ifft_distributed
+from repro.simmpi import run_spmd
+from repro.trace import TraceRecorder
+
+
+def _complex(rng, shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+def _generic_convolve(x, plan):
+    """The pre-workspace construction: explicit extension + window view."""
+    xe = extended_input(x, plan)
+    stride = plan.nu * plan.p
+    win = np.lib.stride_tricks.sliding_window_view(xe, plan.b * plan.p, axis=-1)[
+        ..., ::stride, :
+    ][..., : plan.q_chunks, :]
+    winb = win.reshape(*xe.shape[:-1], plan.q_chunks, plan.b, plan.p)
+    z = np.einsum("rbp,...qbp->...qrp", plan.coeffs, winb, optimize=True)
+    return z.reshape(*xe.shape[:-1], plan.m_over, plan.p)
+
+
+class TestConvolutionWorkspaces:
+    def test_window_view_matches_generic_construction(self, full_plan, rng):
+        x = _complex(rng, full_plan.n)
+        np.testing.assert_array_equal(
+            soi_convolve(x, full_plan), _generic_convolve(x, full_plan)
+        )
+
+    def test_contract_windows_t_is_bitwise_transpose(self, full_plan, rng):
+        plan = full_plan
+        x = np.ascontiguousarray(_complex(rng, plan.n))
+        winb = plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
+        z = plan.contract_windows(winb).reshape(plan.m_over, plan.p)
+        winb2 = plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
+        z_t = plan.contract_windows_t(winb2).reshape(plan.p, plan.m_over)
+        np.testing.assert_array_equal(z_t, np.ascontiguousarray(z.T))
+
+    def test_window_buffer_reused_per_thread(self, full_plan, rng):
+        plan = full_plan
+        x = np.ascontiguousarray(_complex(rng, plan.n))
+        plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
+        buf_a = plan._tls.xe[plan.n + plan.b * plan.p]
+        plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
+        assert plan._tls.xe[plan.n + plan.b * plan.p] is buf_a
+
+    def test_batched_rows_match_one_d_path(self, full_plan, rng):
+        xb = _complex(rng, (3, full_plan.n))
+        for backend in ("numpy", "repro"):
+            batched = soi_fft(xb, full_plan, backend=backend)
+            rows = np.stack(
+                [soi_fft(xb[i], full_plan, backend=backend) for i in range(3)]
+            )
+            np.testing.assert_array_equal(batched, rows)
+
+
+class TestDemodAndPhases:
+    def test_demod_recip_is_reciprocal_of_demod(self, full_plan):
+        np.testing.assert_array_equal(
+            full_plan.demod_recip, np.reciprocal(full_plan.demod)
+        )
+        np.testing.assert_allclose(
+            full_plan.demod * full_plan.demod_recip, 1.0, rtol=1e-15
+        )
+        assert not full_plan.demod_recip.flags.writeable
+
+    def test_segment_phase_cached_and_correct(self, full_plan):
+        plan = full_plan
+        expected = np.exp(-2j * np.pi * 3 * np.arange(plan.p) / plan.p)
+        np.testing.assert_array_equal(plan.segment_phase(3), expected)
+        assert plan.segment_phase(3) is plan.segment_phase(3)
+        with pytest.raises(IndexError):
+            plan.segment_phase(plan.p)
+
+    def test_forward_inverse_roundtrip(self, full_plan, rng):
+        x = _complex(rng, full_plan.n)
+        back = soi_ifft(soi_fft(x, full_plan), full_plan)
+        np.testing.assert_allclose(back, x, atol=1e-12)
+
+
+class TestSoiPlanCache:
+    @pytest.fixture(autouse=True)
+    def fresh(self):
+        clear_soi_plan_cache()
+        yield
+        clear_soi_plan_cache()
+
+    def test_same_parameters_share_one_plan(self):
+        assert soi_plan_for(1024, 4) is soi_plan_for(1024, 4)
+        info = soi_plan_cache_info()
+        assert info["plans"] == 1
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+
+    def test_distinct_parameters_get_distinct_plans(self):
+        assert soi_plan_for(1024, 4) is not soi_plan_for(1024, 8)
+
+    def test_cached_plan_output_matches_fresh_plan(self, rng):
+        x = _complex(rng, 2048)
+        cached = soi_fft(x, soi_plan_for(2048, 4))
+        fresh = soi_fft(x, SoiPlan(n=2048, p=4))
+        np.testing.assert_array_equal(cached, fresh)
+
+
+class TestSequentialDistributedEquality:
+    CASES = [(4096, 8, 4), (8192, 4, 4), (8192, 8, 2)]
+
+    @staticmethod
+    def _distributed(x, plan, nranks, **kwargs):
+        def body(comm):
+            block = plan.n // comm.size
+            lo = comm.rank * block
+            return soi_fft_distributed(comm, x[lo : lo + block], plan, **kwargs)
+
+        return np.concatenate(run_spmd(nranks, body).values)
+
+    @pytest.mark.parametrize("n,p,nranks", CASES)
+    @pytest.mark.parametrize("backend", ["numpy", "repro"])
+    def test_dist_bitwise_equals_sequential(self, n, p, nranks, backend, rng):
+        plan = soi_plan_for(n, p)
+        x = _complex(rng, n)
+        seq = soi_fft(x, plan, backend=backend)
+        dist = self._distributed(x, plan, nranks, backend=backend)
+        np.testing.assert_array_equal(seq, dist)
+
+    @pytest.mark.parametrize("backend", ["numpy", "repro"])
+    def test_verify_path_is_bit_transparent(self, backend, rng):
+        plan = soi_plan_for(4096, 8)
+        x = _complex(rng, 4096)
+        plain = self._distributed(x, plan, 4, backend=backend)
+        verified = self._distributed(x, plan, 4, backend=backend, verify=True)
+        np.testing.assert_array_equal(plain, verified)
+
+    @pytest.mark.parametrize("backend", ["numpy", "repro"])
+    def test_trace_path_is_bit_transparent(self, backend, rng):
+        plan = soi_plan_for(4096, 8)
+        x = _complex(rng, 4096)
+        plain = self._distributed(x, plan, 4, backend=backend)
+
+        rec = TraceRecorder()
+
+        def body(comm):
+            block = plan.n // comm.size
+            lo = comm.rank * block
+            return soi_fft_distributed(comm, x[lo : lo + block], plan, backend=backend)
+
+        traced = np.concatenate(run_spmd(4, body, trace=rec).values)
+        np.testing.assert_array_equal(plain, traced)
+        assert rec.timeline().spans  # the trace actually recorded work
+
+    def test_inverse_dist_bitwise_equals_sequential_inverse(self, rng):
+        plan = soi_plan_for(4096, 8)
+        x = _complex(rng, 4096)
+        seq = soi_ifft(x, plan, backend="repro")
+
+        def body(comm):
+            block = plan.n // comm.size
+            lo = comm.rank * block
+            return soi_ifft_distributed(comm, x[lo : lo + block], plan, backend="repro")
+
+        dist = np.concatenate(run_spmd(4, body).values)
+        np.testing.assert_array_equal(seq, dist)

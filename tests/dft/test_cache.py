@@ -1,0 +1,137 @@
+"""Tests for the global FFT plan cache: identity, LRU, thread safety.
+
+Thread safety matters because :func:`repro.simmpi.run_spmd` ranks are
+threads — a distributed SOI FFT has every rank hammering ``plan_for``
+concurrently, and the cache must hand them all the *same* plan object
+with consistent counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dft import (
+    FftPlan,
+    clear_plan_cache,
+    fft,
+    ifft,
+    plan_cache_info,
+    plan_for,
+    set_plan_cache_limit,
+)
+from repro.simmpi import run_spmd
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestCacheBasics:
+    def test_same_size_returns_same_object(self):
+        assert plan_for(256) is plan_for(256)
+
+    def test_hit_miss_counters(self):
+        plan_for(64)
+        plan_for(64)
+        plan_for(128)
+        info = plan_cache_info()
+        assert info["entries"] == 2
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["evictions"] == 0
+
+    def test_lru_eviction_drops_oldest(self):
+        previous = set_plan_cache_limit(2)
+        try:
+            first = plan_for(8)
+            plan_for(16)
+            plan_for(32)  # evicts the length-8 plan
+            info = plan_cache_info()
+            assert info["entries"] == 2
+            assert info["evictions"] == 1
+            assert plan_for(8) is not first  # rebuilt after eviction
+        finally:
+            set_plan_cache_limit(previous)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_plans"):
+            set_plan_cache_limit(0)
+
+    def test_clear_resets_counters(self):
+        plan_for(64)
+        clear_plan_cache()
+        assert plan_cache_info() == {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "max_plans": plan_cache_info()["max_plans"],
+        }
+
+
+class TestCachedOutputs:
+    @pytest.mark.parametrize("n", [64, 360, 97])
+    def test_cached_forward_bit_identical_to_fresh_plan(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_array_equal(fft(x), FftPlan(n).execute(x, inverse=False))
+
+    @pytest.mark.parametrize("n", [64, 360, 97])
+    def test_cached_inverse_bit_identical_to_fresh_plan(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_array_equal(ifft(x), FftPlan(n).execute(x, inverse=True))
+
+    def test_one_shot_helpers_populate_the_cache(self, rng):
+        x = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        fft(x)
+        ifft(x)  # same plan serves both directions
+        info = plan_cache_info()
+        assert info["entries"] == 1
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+
+
+class TestThreadSafety:
+    SIZES = [32, 64, 128, 256]
+
+    def test_concurrent_ranks_share_plan_objects(self):
+        nranks = 8
+
+        def body(comm):
+            # Every rank requests every size, overlapping deliberately.
+            return [id(plan_for(n)) for n in self.SIZES for _ in range(16)]
+
+        results = run_spmd(nranks, body).values
+        for per_size in zip(*results):
+            assert len(set(per_size)) == 1  # one shared object per size
+
+    def test_concurrent_counters_are_consistent(self):
+        nranks = 8
+        repeats = 16
+
+        def body(comm):
+            for n in self.SIZES:
+                for _ in range(repeats):
+                    plan_for(n)
+            return comm.rank
+
+        run_spmd(nranks, body)
+        info = plan_cache_info()
+        assert info["entries"] == len(self.SIZES)
+        assert info["misses"] == len(self.SIZES)  # each size built exactly once
+        assert info["hits"] == nranks * repeats * len(self.SIZES) - info["misses"]
+
+    def test_concurrent_outputs_bit_identical_to_uncached(self, rng):
+        xs = {
+            n: rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            for n in self.SIZES
+        }
+        expected = {n: FftPlan(n).execute(x, inverse=False) for n, x in xs.items()}
+
+        def body(comm):
+            return {n: fft(xs[n]) for n in self.SIZES}
+
+        for per_rank in run_spmd(8, body).values:
+            for n in self.SIZES:
+                np.testing.assert_array_equal(per_rank[n], expected[n])

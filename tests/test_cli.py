@@ -53,6 +53,7 @@ class TestCli:
             "snr",
             "traffic",
             "trace",
+            "bench-micro",
             "fig5",
             "fig6",
             "fig7",
