@@ -46,6 +46,12 @@ try:
     )
     from .parallel import soi_fft_distributed, transpose_fft_distributed  # noqa: F401
     from .trace import TraceCostModel, TraceRecorder  # noqa: F401
+    from .check import (  # noqa: F401
+        HbTracker,
+        ScheduleController,
+        replay_interleavings,
+        run_conformance,
+    )
 
     __all__ += [
         "SoiPlan",
@@ -65,6 +71,10 @@ try:
         "transpose_fft_distributed",
         "TraceCostModel",
         "TraceRecorder",
+        "HbTracker",
+        "ScheduleController",
+        "replay_interleavings",
+        "run_conformance",
     ]
 except ImportError:  # pragma: no cover - only during partial source builds
     pass

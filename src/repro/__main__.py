@@ -5,6 +5,7 @@ Usage::
     python -m repro                 # all figures + accuracy + traffic
     python -m repro fig5 fig8      # a subset
     python -m repro trace --trace-out soi.trace.json --chaos-seed 7
+    python -m repro check --schedules 25 --seed 0 --report-out check.json
     python -m repro --json traffic # machine-readable payloads too
     python -m repro --list
 
@@ -294,6 +295,78 @@ def _bench_micro(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _check(args: argparse.Namespace) -> dict:
+    """Correctness audit: conformance registry + schedule fuzzing + HB scan."""
+    from .bench import format_table
+    from .check import HbTracker, fuzz_distributed_soi, install_cache_observers, run_conformance
+
+    size = getattr(args, "check_size", None) or "default"
+    schedules = getattr(args, "schedules", None)
+    schedules = 25 if schedules is None else schedules
+    seed = getattr(args, "seed", None)
+    seed = 0 if seed is None else seed
+
+    conf = run_conformance(size)
+    groups = conf.summary()["groups"]
+    print(
+        format_table(
+            ["group", "entry points", "passed"],
+            [[g, v["total"], v["passed"]] for g, v in sorted(groups.items())],
+            title=f"conformance registry ({size}): every transform path vs its oracle",
+        )
+    )
+    for row in conf.failures():
+        print(
+            f"  FAIL {row.name}: error {row.error:.3e} > tolerance "
+            f"{row.tolerance:.3e} {row.detail}"
+        )
+    print()
+
+    # Fuzz the flagship determinism claim on the repro backend so the
+    # rank threads also hammer the dft plan cache under audit.
+    hb = HbTracker(4)
+    restore = install_cache_observers(hb)
+    try:
+        fuzz = fuzz_distributed_soi(
+            schedules=schedules,
+            seed=seed,
+            backend="repro",
+            controller_kwargs={"hb": hb},
+        )
+    finally:
+        restore()
+    hb_report = hb.report()
+    print(
+        f"schedule fuzz: {fuzz.schedules} replays (seed {seed}), "
+        f"{fuzz.distinct_interleavings} distinct interleavings, "
+        f"deterministic: {fuzz.ok}"
+    )
+    for mm in fuzz.mismatches:
+        print(f"  MISMATCH schedule {mm.schedule_seed}: {mm.field} — {mm.detail}")
+    print(
+        f"happens-before: {len(hb_report['states_audited'])} shared states audited "
+        f"({', '.join(sorted(hb_report['states_audited'])) or 'none'}), "
+        f"clean: {hb_report['clean']}"
+    )
+    print()
+
+    ok = bool(conf.ok and fuzz.ok and hb_report["clean"])
+    payload = {
+        "ok": ok,
+        "conformance": conf.as_dict(),
+        "fuzz": fuzz.as_dict(),
+        "hb": hb_report,
+    }
+    report_out = getattr(args, "report_out", None)
+    if report_out:
+        with open(report_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote correctness report to {report_out}")
+        print()
+    return payload
+
+
 SECTIONS = {
     "table1": _table1,
     "snr": _snr,
@@ -305,6 +378,7 @@ SECTIONS = {
     "fig8": lambda args: _fig_sweeps(["fig8"])["fig8"],
     "fig9": _fig9,
     "bench-micro": _bench_micro,
+    "check": _check,
 }
 
 
@@ -350,6 +424,32 @@ def main(argv: list[str] | None = None) -> int:
         help="bench-micro section: repetitions per timed variant",
     )
     parser.add_argument(
+        "--schedules",
+        metavar="N",
+        type=int,
+        default=None,
+        help="check section: number of fuzzed interleavings to replay (default 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        metavar="N",
+        type=int,
+        default=None,
+        help="check section: base seed for the schedule fuzzer (default 0)",
+    )
+    parser.add_argument(
+        "--check-size",
+        choices=["small", "default"],
+        default=None,
+        help="check section: conformance registry size (small = CI smoke)",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="check section: write the full correctness report as JSON to PATH",
+    )
+    parser.add_argument(
         "--chaos-seed",
         metavar="N",
         type=int,
@@ -366,6 +466,9 @@ def main(argv: list[str] | None = None) -> int:
         payloads[name] = SECTIONS[name](args)
     if args.json:
         print(json.dumps(payloads, indent=2, sort_keys=True))
+    # Audit sections publish an "ok" verdict; a failed audit fails the run.
+    if any(p.get("ok") is False for p in payloads.values() if isinstance(p, dict)):
+        return 1
     return 0
 
 

@@ -1,0 +1,498 @@
+"""Differential conformance registry: every transform path vs its oracle.
+
+The repo's transform surface has grown to many entry points — one-shot
+and planned, forward and inverse, three execute layouts, sequential and
+distributed, ``verify=`` and ``trace=`` on and off.  Each one carries
+the same promise: it approximates the NumPy oracle within a *modelled*
+bound (Theorem 2 for SOI paths, an ulp budget for the exact-FFT
+kernels), and the distributed paths are additionally *bitwise* equal to
+their sequential counterparts.  This module turns that promise into a
+machine-checkable registry: :func:`run_conformance` executes every
+registered entry point against its oracle and emits a JSON-safe report
+(``python -m repro check`` and the CI ``check-smoke`` job consume it).
+
+Tolerances
+----------
+
+Exact kernels (radix-2 / mixed-radix / Bluestein, rfft/irfft, the
+distributed six-step transform) are held to ``32 * eps * log2(n)``
+relative l2 error — measured worst case across the kernels is
+~``0.6 * eps * log2(n)``, so the factor-32 margin flags real defects
+(a wrong twiddle is orders of magnitude out) without flapping on
+benign summation-order noise.
+
+SOI paths are held to ``10 x`` the plan's Theorem-2 budget
+(``error_budget(plan)["modelled_relative_error"]``).  The safety
+factor is calibrated against the edge-geometry sweep of
+:func:`edge_geometries`: the worst observed error/budget ratio across
+windows x beta x odd segment counts at minimal N is 4.73 (digits6,
+beta=1/4, P=7), so 10x passes every legitimate geometry with ~2x
+headroom while still failing on any systematic accuracy regression.
+
+Bitwise rows (seq vs dist, ``verify=``/``trace=`` transparency, dtype
+normalisation) record ``error 0.0, tolerance 0.0`` — equality is the
+contract, not closeness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..core.accuracy import error_budget
+from ..core.design import preset_design
+from ..core.plan import SoiPlan
+from ..core.soi import soi_fft, soi_fft2, soi_ifft, soi_segment
+from ..dft import FftPlan, irfft, rfft
+from ..dft import fft as dft_fft
+from ..dft import ifft as dft_ifft
+from ..nufft import nudft1, nudft2, nufft1, nufft2, NufftPlan
+from ..parallel.distribution import split_blocks
+from ..parallel.soi_dist import soi_fft_distributed, soi_ifft_distributed
+from ..parallel.transpose import transpose_fft_distributed
+from ..simmpi.runtime import run_spmd
+from ..trace import TraceRecorder
+
+__all__ = [
+    "ConformanceRow",
+    "ConformanceReport",
+    "EXACT_ULP_FACTOR",
+    "SOI_BUDGET_SAFETY",
+    "exact_tolerance",
+    "soi_tolerance",
+    "edge_geometries",
+    "run_conformance",
+]
+
+#: Multiplier on ``eps * log2(n)`` for exact-FFT oracle rows (see module
+#: docstring for the calibration).
+EXACT_ULP_FACTOR = 32.0
+
+#: Multiplier on the Theorem-2 modelled relative error for SOI oracle
+#: rows.  Worst observed error/budget ratio over the edge-geometry
+#: sweep is 4.73 — see the module docstring.
+SOI_BUDGET_SAFETY = 10.0
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def exact_tolerance(n: int) -> float:
+    """Relative-l2 bound for an exact (non-SOI) n-point FFT path."""
+    return EXACT_ULP_FACTOR * _EPS * max(math.log2(max(n, 2)), 1.0)
+
+
+def soi_tolerance(plan: SoiPlan) -> float:
+    """Relative-l2 bound for an SOI path: safety x Theorem-2 budget."""
+    return SOI_BUDGET_SAFETY * error_budget(plan)["modelled_relative_error"]
+
+
+def _rel_err(got: np.ndarray, ref: np.ndarray) -> float:
+    """Relative l2 error, the metric of the paper's accuracy model."""
+    denom = float(np.linalg.norm(ref))
+    if denom == 0.0:
+        return float(np.linalg.norm(got))
+    return float(np.linalg.norm(np.asarray(got) - np.asarray(ref)) / denom)
+
+
+def _rng(label: str) -> np.random.Generator:
+    """A deterministic per-row generator (rows are order-independent)."""
+    seed = int.from_bytes(label.encode(), "big") % (2**63)
+    return np.random.default_rng(seed)
+
+
+def _signal(label: str, n: int) -> np.ndarray:
+    gen = _rng(label)
+    return gen.standard_normal(n) + 1j * gen.standard_normal(n)
+
+
+@dataclass(frozen=True)
+class ConformanceRow:
+    """One entry-point-vs-oracle result."""
+
+    name: str
+    group: str
+    n: int
+    error: float
+    tolerance: float
+    passed: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        # Coerce numpy scalars (a size computed from a design table can
+        # arrive as int64) so the payload is json.dumps-safe.
+        return {
+            "name": self.name,
+            "group": self.group,
+            "n": int(self.n),
+            "error": float(self.error),
+            "tolerance": float(self.tolerance),
+            "passed": bool(self.passed),
+            "detail": self.detail,
+        }
+
+
+class ConformanceReport:
+    """Collected rows plus a pass/fail summary (JSON-safe)."""
+
+    def __init__(self, size: str) -> None:
+        self.size = size
+        self.rows: list[ConformanceRow] = []
+
+    def add(self, row: ConformanceRow) -> None:
+        self.rows.append(row)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.rows) and all(r.passed for r in self.rows)
+
+    def summary(self) -> dict:
+        groups: dict[str, dict[str, int]] = {}
+        for r in self.rows:
+            g = groups.setdefault(r.group, {"total": 0, "passed": 0})
+            g["total"] += 1
+            g["passed"] += int(r.passed)
+        return {
+            "entry_points": len(self.rows),
+            "passed": sum(int(r.passed) for r in self.rows),
+            "failed": sum(int(not r.passed) for r in self.rows),
+            "groups": groups,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "repro.check.conformance/1",
+            "size": self.size,
+            "ok": self.ok,
+            "summary": self.summary(),
+            "rows": [r.as_dict() for r in self.rows],
+        }
+
+    def failures(self) -> list[ConformanceRow]:
+        return [r for r in self.rows if not r.passed]
+
+
+def _oracle_row(
+    report: ConformanceReport,
+    name: str,
+    group: str,
+    n: int,
+    tolerance: float,
+    compute: Callable[[], tuple[np.ndarray, np.ndarray]],
+    detail: str = "",
+) -> None:
+    """Run *compute* -> (got, oracle) and record the relative error."""
+    try:
+        got, ref = compute()
+        err = _rel_err(got, ref)
+        report.add(
+            ConformanceRow(
+                name, group, n, err, float(tolerance), bool(err <= tolerance), detail
+            )
+        )
+    except Exception as exc:  # a crash is a conformance failure, not a skip
+        report.add(
+            ConformanceRow(
+                name, group, n, float("inf"), tolerance, False, f"raised: {exc!r}"
+            )
+        )
+
+
+def _bitwise_row(
+    report: ConformanceReport,
+    name: str,
+    group: str,
+    n: int,
+    compute: Callable[[], tuple[np.ndarray, np.ndarray]],
+    detail: str = "",
+) -> None:
+    """Run *compute* -> (got, ref) and require bit-for-bit equality."""
+    try:
+        got, ref = compute()
+        same = (
+            got.shape == ref.shape
+            and got.dtype == ref.dtype
+            and bool(np.array_equal(got, ref))
+        )
+        err = 0.0 if same else _rel_err(got, ref)
+        report.add(ConformanceRow(name, group, n, err, 0.0, same, detail))
+    except Exception as exc:
+        report.add(
+            ConformanceRow(name, group, n, float("inf"), 0.0, False, f"raised: {exc!r}")
+        )
+
+
+# --------------------------------------------------------------------------
+# edge geometries (satellite: odd segment counts, every beta, minimal N)
+# --------------------------------------------------------------------------
+
+def edge_geometries(
+    windows: tuple[str, ...] = ("full", "digits10", "digits6"),
+    betas: tuple[Fraction, ...] = (
+        Fraction(1, 8),
+        Fraction(1, 4),
+        Fraction(1, 2),
+    ),
+    segment_counts: tuple[int, ...] = (3, 5, 7),
+) -> Iterator[dict]:
+    """Every boundary SOI geometry: minimal N per (window, beta, odd P).
+
+    The minimal admissible segment length is ``M = nu * ceil(B / nu)``
+    (M must be a multiple of nu and the stencil must fit in a segment),
+    giving ``N = M * P``.  Odd segment counts exercise the non-power-of-
+    two backend dispatch inside the pipeline (F_P falls to mixed-radix
+    or Bluestein kernels) and minimal N maximises the halo-to-block
+    ratio — the regime where truncation error is least flattered.
+    """
+    for window in windows:
+        for beta in betas:
+            nu = (Fraction(beta) + 1).denominator
+            b = preset_design(window, beta=float(beta)).b
+            m = nu * math.ceil(b / nu)
+            for p in segment_counts:
+                yield {
+                    "window": window,
+                    "beta": beta,
+                    "p": p,
+                    "n": m * p,
+                    "b": b,
+                    "nu": nu,
+                }
+
+
+def _edge_rows(report: ConformanceReport, backend: str) -> None:
+    for geo in edge_geometries():
+        plan = SoiPlan(n=geo["n"], p=geo["p"], beta=geo["beta"], window=geo["window"])
+        label = (
+            f"soi_fft[{geo['window']},beta={geo['beta']},P={geo['p']},"
+            f"n={geo['n']},{backend}]"
+        )
+        x = _signal(label, plan.n)
+        _oracle_row(
+            report,
+            label,
+            "soi-edge",
+            plan.n,
+            soi_tolerance(plan),
+            lambda x=x, plan=plan: (soi_fft(x, plan, backend=backend), np.fft.fft(x)),
+            detail=f"minimal-N geometry, B={geo['b']}, nu={geo['nu']}",
+        )
+
+
+# --------------------------------------------------------------------------
+# the registry
+# --------------------------------------------------------------------------
+
+_SIZES = {
+    # soi_n must satisfy: p=8 segments, nu=4 (beta=1/4), 4 ranks ->
+    # block multiple of nu*P=32; both sizes are standard suite sizes.
+    # nufft_k must leave room for the full window's spread width (~49
+    # fine-grid points) inside the oversampled grid K * 5/4.  dist_n
+    # must keep the halo (B - nu) * P = 592 within the per-rank block
+    # (dist_n / 4), so the distributed rows use the next size up.
+    "small": {"soi_n": 2048, "dist_n": 4096, "transpose_n": 512, "nufft_k": 128},
+    "default": {"soi_n": 4096, "dist_n": 8192, "transpose_n": 1024, "nufft_k": 256},
+}
+
+_DIST_RANKS = 4
+_DIST_P = 8
+
+
+def _dft_rows(report: ConformanceReport) -> None:
+    # One-shot helpers (radix-2 dispatch) against the NumPy oracle.
+    x256 = _signal("dft.fft[256]", 256)
+    _oracle_row(report, "dft.fft[n=256,radix2]", "dft", 256, exact_tolerance(256),
+                lambda: (dft_fft(x256), np.fft.fft(x256)))
+    _oracle_row(report, "dft.ifft[n=256,radix2]", "dft", 256, exact_tolerance(256),
+                lambda: (dft_ifft(x256), np.fft.ifft(x256)))
+
+    # Planned execution, one row per kernel and direction.
+    for n, kernel in ((360, "mixed_radix"), (97, "bluestein")):
+        plan = FftPlan(n)
+        assert plan.kernel == kernel
+        x = _signal(f"dft.plan[{n}]", n)
+        _oracle_row(
+            report, f"FftPlan.execute[n={n},{kernel}]", "dft", n,
+            exact_tolerance(n),
+            lambda plan=plan, x=x: (plan.execute(x), np.fft.fft(x)),
+        )
+        _oracle_row(
+            report, f"FftPlan.execute[n={n},{kernel},inverse]", "dft", n,
+            exact_tolerance(n),
+            lambda plan=plan, x=x: (plan.execute(x, inverse=True), np.fft.ifft(x)),
+        )
+
+    # Transposed layouts: oracle accuracy plus the documented bitwise
+    # equivalence to execute() with explicit transposes.
+    plan128 = FftPlan(128)
+    x2 = _signal("dft.execute_t[128]", 4 * 128).reshape(4, 128)
+    _oracle_row(
+        report, "FftPlan.execute_t[n=128,radix2]", "dft", 128,
+        exact_tolerance(128),
+        lambda: (plan128.execute_t(x2), np.fft.fft(x2).T),
+    )
+    _bitwise_row(
+        report, "FftPlan.execute_t==execute().T[n=128]", "dft", 128,
+        lambda: (
+            plan128.execute_t(x2),
+            np.ascontiguousarray(plan128.execute(x2).T),
+        ),
+    )
+    xt = np.ascontiguousarray(x2.T)
+    _oracle_row(
+        report, "FftPlan.execute_tt[n=128,radix2]", "dft", 128,
+        exact_tolerance(128),
+        lambda: (plan128.execute_tt(xt), np.fft.fft(xt.T).T),
+    )
+
+    # Real-input pair.
+    xr = _rng("dft.rfft[512]").standard_normal(512)
+    _oracle_row(report, "dft.rfft[n=512]", "dft", 512, exact_tolerance(512),
+                lambda: (rfft(xr), np.fft.rfft(xr)))
+    spec = np.fft.rfft(xr)
+    _oracle_row(report, "dft.irfft[n=512]", "dft", 512, exact_tolerance(512),
+                lambda: (irfft(spec, n=512), np.fft.irfft(spec, n=512)))
+
+    # Dtype normalisation at the plan-cache boundary (satellite 1): a
+    # float32 caller must execute the identical complex128 kernel.
+    xf32 = _rng("dft.fft[f32]").standard_normal(256).astype(np.float32)
+    _bitwise_row(
+        report, "dft.fft[float32]==fft[complex128-of-f32]", "dft", 256,
+        lambda: (dft_fft(xf32), dft_fft(xf32.astype(np.complex128))),
+        detail="shared plan-cache entry, cast at the plan boundary",
+    )
+
+
+def _nufft_rows(report: ConformanceReport, k_modes: int) -> None:
+    plan = NufftPlan(k_modes=k_modes, window="full")
+    t = _rng(f"nufft.t[{k_modes}]").uniform(0.0, 1.0, size=3 * k_modes)
+    a = _signal(f"nufft.a[{k_modes}]", t.size)
+    c = _signal(f"nufft.c[{k_modes}]", k_modes)
+    # The "full" window is designed for ~14.5 digits; 1e-12 is the
+    # established accuracy-ladder bound for it (tests/nufft).
+    _oracle_row(report, f"nufft1[K={k_modes},full]", "nufft", k_modes, 1e-12,
+                lambda: (nufft1(t, a, plan), nudft1(t, a, k_modes)))
+    _oracle_row(report, f"nufft2[K={k_modes},full]", "nufft", k_modes, 1e-12,
+                lambda: (nufft2(t, c, plan), nudft2(t, c, k_modes)))
+
+
+def _soi_seq_rows(report: ConformanceReport, n: int) -> None:
+    plan = SoiPlan(n=n, p=_DIST_P)
+    tol = soi_tolerance(plan)
+    x = _signal(f"soi.seq[{n}]", n)
+    for backend in ("numpy", "repro"):
+        _oracle_row(
+            report, f"soi_fft[n={n},P={_DIST_P},{backend}]", "soi", n, tol,
+            lambda backend=backend: (soi_fft(x, plan, backend=backend), np.fft.fft(x)),
+        )
+    _oracle_row(report, f"soi_ifft[n={n},P={_DIST_P},numpy]", "soi", n, tol,
+                lambda: (soi_ifft(x, plan), np.fft.ifft(x)))
+    _oracle_row(
+        report, f"soi_segment[n={n},s=1]", "soi", n, tol,
+        lambda: (soi_segment(x, plan, 1), np.fft.fft(x)[plan.m : 2 * plan.m]),
+        detail="single-segment pursuit (Section 5)",
+    )
+    # 2-D: combined window error of two passes -> sum the budgets.
+    # 512 is the smallest power of two that fits the full window's
+    # stencil (B*P = 312) with P=4 segments.
+    n2 = 512
+    plan2 = SoiPlan(n=n2, p=4)
+    x2 = _signal(f"soi.fft2[{n2}]", n2 * n2).reshape(n2, n2)
+    _oracle_row(
+        report, f"soi_fft2[{n2}x{n2}]", "soi", n2, 2.0 * soi_tolerance(plan2),
+        lambda: (soi_fft2(x2, plan2), np.fft.fft2(x2)),
+    )
+
+
+def _dist_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
+    plan = SoiPlan(n=n, p=_DIST_P)
+    x = _signal(f"dist.soi[{n}]", n)
+    blocks = split_blocks(x, _DIST_RANKS)
+
+    def dist(fn, **kwargs):
+        res = run_spmd(
+            _DIST_RANKS,
+            lambda comm: fn(comm, blocks[comm.rank], plan, **kwargs),
+        )
+        return np.concatenate(res.values)
+
+    for backend in ("numpy", "repro"):
+        _oracle_row(
+            report, f"soi_fft_distributed[n={n},{backend}]", "dist", n,
+            soi_tolerance(plan),
+            lambda backend=backend: (
+                dist(soi_fft_distributed, backend=backend), np.fft.fft(x)),
+        )
+        _bitwise_row(
+            report, f"soi_fft_distributed==soi_fft[n={n},{backend}]", "dist", n,
+            lambda backend=backend: (
+                dist(soi_fft_distributed, backend=backend),
+                soi_fft(x, plan, backend=backend),
+            ),
+            detail="seq/dist bitwise invariant",
+        )
+    _bitwise_row(
+        report, f"soi_ifft_distributed==soi_ifft[n={n}]", "dist", n,
+        lambda: (dist(soi_ifft_distributed), soi_ifft(x, plan)),
+    )
+    baseline = dist(soi_fft_distributed)
+    _bitwise_row(
+        report, f"soi_fft_distributed[verify=True][n={n}]", "dist", n,
+        lambda: (dist(soi_fft_distributed, verify=True), baseline),
+        detail="self-verification is bit-transparent",
+    )
+
+    def traced():
+        rec = TraceRecorder()
+        out = dist(soi_fft_distributed, trace=rec)
+        if rec.nevents == 0:
+            raise RuntimeError("trace recorder captured no events")
+        return out, baseline
+
+    _bitwise_row(
+        report, f"soi_fft_distributed[trace=][n={n}]", "dist", n, traced,
+        detail="tracing is bit-transparent",
+    )
+
+    # The six-step baseline is an *exact* transform: oracle tolerance.
+    xt = _signal(f"dist.transpose[{transpose_n}]", transpose_n)
+    tblocks = split_blocks(xt, _DIST_RANKS)
+    _oracle_row(
+        report, f"transpose_fft_distributed[n={transpose_n}]", "dist",
+        transpose_n, exact_tolerance(transpose_n),
+        lambda: (
+            np.concatenate(
+                run_spmd(
+                    _DIST_RANKS,
+                    lambda comm: transpose_fft_distributed(
+                        comm, tblocks[comm.rank], transpose_n
+                    ),
+                ).values
+            ),
+            np.fft.fft(xt),
+        ),
+    )
+
+
+def run_conformance(size: str = "default", *, edge_backend: str = "numpy") -> ConformanceReport:
+    """Execute the full registry and return the report.
+
+    *size* is ``"default"`` (the acceptance configuration) or
+    ``"small"`` (CI smoke: same coverage, smaller transforms).
+    *edge_backend* selects the node-local FFT for the edge-geometry
+    sweep; the Theorem-2 bound holds for either, and the seq/dist rows
+    already cover both backends, so one sweep per run suffices.
+    """
+    if size not in _SIZES:
+        raise ValueError(f"size must be one of {sorted(_SIZES)}, got {size!r}")
+    cfg = _SIZES[size]
+    report = ConformanceReport(size)
+    _dft_rows(report)
+    _nufft_rows(report, cfg["nufft_k"])
+    _soi_seq_rows(report, cfg["soi_n"])
+    _edge_rows(report, edge_backend)
+    _dist_rows(report, cfg["dist_n"], cfg["transpose_n"])
+    return report

@@ -37,6 +37,7 @@ __all__ = [
     "soi_plan_for",
     "clear_soi_plan_cache",
     "soi_plan_cache_info",
+    "set_soi_plan_cache_observer",
 ]
 
 
@@ -360,6 +361,10 @@ _soi_cache: "OrderedDict[tuple, SoiPlan]" = None  # type: ignore[assignment]
 _soi_lock = threading.Lock()
 _soi_hits = 0
 _soi_misses = 0
+_soi_observer = None  # (state, kind, guard) callable; see repro.check.hb
+
+#: Name of the lock guarding the cache, declared to the HB checker.
+_SOI_GUARD = "repro.core.plan._soi_lock"
 
 
 def soi_plan_for(
@@ -382,6 +387,9 @@ def soi_plan_for(
     global _soi_cache, _soi_hits, _soi_misses
     if not isinstance(window, (str, float, int)) or isinstance(window, bool):
         return SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
+    obs = _soi_observer
+    if obs is not None:
+        obs("core.soi_plan_cache", "rw", _SOI_GUARD)
     key = (n, p, as_fraction(beta), window, b)
     with _soi_lock:
         if _soi_cache is None:
@@ -424,3 +432,17 @@ def soi_plan_cache_info() -> dict[str, int]:
             "hits": _soi_hits,
             "misses": _soi_misses,
         }
+
+
+def set_soi_plan_cache_observer(observer):
+    """Install a cache access observer; returns the previous one.
+
+    Called as ``observer("core.soi_plan_cache", "rw", guard)`` on every
+    cached :func:`soi_plan_for` lookup, outside the cache lock — the
+    declaration hook for :class:`repro.check.hb.HbTracker`.  Zero-cost
+    (one global read) when no observer is installed.
+    """
+    global _soi_observer
+    previous = _soi_observer
+    _soi_observer = observer
+    return previous

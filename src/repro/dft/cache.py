@@ -6,9 +6,18 @@ repro backend used to throw that away, building a fresh
 :class:`~repro.dft.plan.FftPlan` — re-running factorisation, kernel
 dispatch and cache warming — on *every* transform.  This module is the
 fix: a process-wide, thread-safe, LRU-bounded cache keyed by transform
-length that the ``"repro"`` backend, the one-shot :func:`repro.dft.fft`
-/ :func:`repro.dft.ifft` helpers and therefore the whole SOI pipeline
-route through.
+length and compute dtype that the ``"repro"`` backend, the one-shot
+:func:`repro.dft.fft` / :func:`repro.dft.ifft` helpers and therefore the
+whole SOI pipeline route through.
+
+Dtype soundness: every kernel computes in complex128, and
+:class:`FftPlan` normalises inputs to that compute dtype at its own
+boundary.  The cache key therefore carries the *compute* dtype a plan
+was built for — today every caller dtype (float32, complex64, ...) maps
+to the one complex128 compute dtype, so mixed-dtype callers share one
+plan *by construction* rather than by accidental collision, and a
+future reduced-precision compute path would get distinct cache entries
+instead of corrupting double-precision callers.
 
 Thread safety is a hard requirement, not hygiene: :func:`repro.simmpi.run_spmd`
 ranks are *threads*, so a distributed FFT has every rank hammering this
@@ -17,46 +26,94 @@ constructed under the lock so a size is built exactly once and every
 caller shares the same plan object (``plan_for(n) is plan_for(n)``).
 Plan execution itself is lock-free — plans are immutable after
 construction apart from the internally-locked execution counter.
+
+For the happens-before audit of :mod:`repro.check.hb` the cache exposes
+an observer hook: :func:`set_plan_cache_observer` registers a
+``(state, kind, guard)`` callable invoked on every :func:`plan_for`
+call, declaring the access and the lock that guards it.  The default is
+``None`` and costs one global read per lookup.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
 
 from .plan import FftPlan
 
-__all__ = ["plan_for", "clear_plan_cache", "plan_cache_info", "set_plan_cache_limit"]
+__all__ = [
+    "plan_for",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "set_plan_cache_limit",
+    "set_plan_cache_observer",
+]
 
 _DEFAULT_MAX_PLANS = 64
 
+#: The one dtype every kernel computes in (see FftPlan._as_compute).
+_COMPUTE_DTYPE = np.dtype(np.complex128)
+
+#: Name of the lock guarding the cache, declared to the HB checker.
+_GUARD = "repro.dft.cache._lock"
+
 _lock = threading.Lock()
-_plans: OrderedDict[int, FftPlan] = OrderedDict()
+_plans: OrderedDict[tuple[int, str], FftPlan] = OrderedDict()
 _max_plans = _DEFAULT_MAX_PLANS
 _hits = 0
 _misses = 0
 _evictions = 0
+_observer: Callable[[str, str, str], None] | None = None
 
 
-def plan_for(n: int) -> FftPlan:
+def _compute_dtype(dtype: Any) -> np.dtype:
+    """Map a caller dtype to the compute dtype its plan runs in.
+
+    All numeric inputs (real or complex, any precision) are transformed
+    in complex128; non-numeric dtypes are rejected here rather than deep
+    inside a kernel.
+    """
+    if dtype is None:
+        return _COMPUTE_DTYPE
+    dt = np.dtype(dtype)
+    if dt.kind not in "biufc":
+        raise TypeError(f"cannot plan an FFT over dtype {dt}")
+    return _COMPUTE_DTYPE
+
+
+def plan_for(n: int, dtype: Any = None) -> FftPlan:
     """The shared :class:`FftPlan` for length *n* (built once, LRU-cached).
+
+    *dtype* is the caller's input dtype; it is normalised to the compute
+    dtype the plan executes in (complex128 for every numeric input) and
+    that normalised dtype is part of the cache key.  Mixed float32 /
+    complex64 / complex128 callers therefore share one plan soundly —
+    the plan casts at its boundary, so a cache hit can never replay a
+    kernel at the wrong precision.
 
     Both directions execute through the same plan object
     (``plan.execute(x, inverse=...)``), so one cache entry serves
     ``fft`` and ``ifft`` alike.
     """
     global _hits, _misses, _evictions
+    obs = _observer
+    if obs is not None:
+        obs("dft.plan_cache", "rw", _GUARD)
+    key = (int(n), _compute_dtype(dtype).str)
     with _lock:
-        plan = _plans.get(n)
+        plan = _plans.get(key)
         if plan is not None:
-            _plans.move_to_end(n)
+            _plans.move_to_end(key)
             _hits += 1
             return plan
         # Build under the lock: construction is one-time work and doing
         # it here guarantees a single shared plan object per size.
-        plan = FftPlan(n)
-        _plans[n] = plan
-        _plans.move_to_end(n)
+        plan = FftPlan(key[0])
+        _plans[key] = plan
+        _plans.move_to_end(key)
         _misses += 1
         while len(_plans) > _max_plans:
             _plans.popitem(last=False)
@@ -98,3 +155,20 @@ def set_plan_cache_limit(max_plans: int) -> int:
             _plans.popitem(last=False)
             _evictions += 1
         return previous
+
+
+def set_plan_cache_observer(
+    observer: Callable[[str, str, str], None] | None,
+) -> Callable[[str, str, str], None] | None:
+    """Install a cache access observer; returns the previous one.
+
+    The observer is called as ``observer("dft.plan_cache", "rw", guard)``
+    on every :func:`plan_for` call, *outside* the cache lock — it
+    declares the access (and the guard protecting it) to auditors such
+    as :class:`repro.check.hb.HbTracker` without ever extending the
+    lock's critical section.
+    """
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous

@@ -87,16 +87,34 @@ class FftPlan:
             _bluestein_setup(self.n, -1)
             _bluestein_setup(self.n, +1)
 
+    #: Every kernel computes in complex128; inputs of any numeric dtype
+    #: or memory layout are normalised to it at the plan boundary.
+    COMPUTE_DTYPE = np.complex128
+
+    @staticmethod
+    def _as_compute(arr: np.ndarray) -> np.ndarray:
+        """Normalise input to the compute dtype and a C-contiguous layout.
+
+        Doing the cast here — rather than relying on each kernel's own
+        coercion — makes cross-dtype plan-cache sharing sound by
+        construction: a float32 caller and a complex128 caller of the
+        same cached plan execute the identical kernel on the identical
+        bit pattern.
+        """
+        return np.ascontiguousarray(arr, dtype=FftPlan.COMPUTE_DTYPE)
+
     def execute(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
         """Transform *x* over its last axis; length must equal ``self.n``.
 
-        Returns a new array; the input is never modified.
+        Returns a new array; the input is never modified.  Any numeric
+        input dtype/layout is accepted and computed in complex128.
         """
         arr = np.asarray(x)
         if arr.shape[-1] != self.n:
             raise ValueError(
                 f"plan is for length {self.n}, input last axis is {arr.shape[-1]}"
             )
+        arr = self._as_compute(arr)
         inv = self.inverse if inverse is None else inverse
         if self.kernel == "mixed_radix":
             out = fft_mixed_radix(arr, inverse=inv)
@@ -132,7 +150,7 @@ class FftPlan:
             )
         from .stockham import stockham_fft_t
 
-        out = stockham_fft_t(np.ascontiguousarray(arr, dtype=np.complex128), -1)
+        out = stockham_fft_t(self._as_compute(arr), -1)
         with self._count_lock:
             self.executions += arr.shape[0]
         return out
@@ -160,7 +178,7 @@ class FftPlan:
             return np.ascontiguousarray(np.swapaxes(out, 0, 1))
         from .stockham import stockham_fft_tt
 
-        out = stockham_fft_tt(arr, -1)
+        out = stockham_fft_tt(self._as_compute(arr), -1)
         with self._count_lock:
             self.executions += arr.shape[1]
         return out
@@ -189,7 +207,7 @@ def fft(x: np.ndarray) -> np.ndarray:
     from .cache import plan_for  # local import: cache.py imports FftPlan
 
     arr = np.asarray(x)
-    return plan_for(arr.shape[-1]).execute(arr, inverse=False)
+    return plan_for(arr.shape[-1], arr.dtype).execute(arr, inverse=False)
 
 
 def ifft(y: np.ndarray) -> np.ndarray:
@@ -197,4 +215,4 @@ def ifft(y: np.ndarray) -> np.ndarray:
     from .cache import plan_for  # local import: cache.py imports FftPlan
 
     arr = np.asarray(y)
-    return plan_for(arr.shape[-1]).execute(arr, inverse=True)
+    return plan_for(arr.shape[-1], arr.dtype).execute(arr, inverse=True)

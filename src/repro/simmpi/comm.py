@@ -176,6 +176,13 @@ class World:
         # payloads or the traffic statistics, so traced runs stay
         # bit-identical to untraced ones.
         self.tracer: Any | None = None
+        # Optional schedule controller (repro.check.ScheduleController).
+        # When set, it intercepts message delivery (holding and releasing
+        # queued payloads in a seeded permuted order) and observes
+        # send/recv/barrier events for happens-before tracking.  Same
+        # contract as the tracer: zero-cost ``is None`` checks when off,
+        # and it must never alter payloads or traffic accounting.
+        self.scheduler: Any | None = None
         # Reliable-transport state (sequence numbers, retransmit buffer).
         self._state_lock = threading.Lock()
         self._send_seq: dict[tuple, int] = {}
@@ -192,12 +199,24 @@ class World:
                 ch = self._channels[key] = deque()
             return ch
 
+    def _deliver(self, key: tuple, item: Any) -> None:
+        """Append *item* to its channel.  Caller holds ``_cv`` and notifies."""
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = self._channels[key] = deque()
+        ch.append(item)
+
     def _put(self, key: tuple, item: Any) -> None:
         with self._cv:
-            ch = self._channels.get(key)
-            if ch is None:
-                ch = self._channels[key] = deque()
-            ch.append(item)
+            if self.scheduler is not None:
+                # The controller may deliver now or hold the message for a
+                # later, permuted release (on_wait below guarantees any
+                # blocked receiver eventually drains its held messages).
+                self.scheduler.on_put(self, key, item)
+            else:
+                self._deliver(key, item)
+            # Unconditional: even a held message must wake receivers so
+            # their wait loop reaches the scheduler's release hook.
             self._cv.notify_all()
 
     def _delayed_put(self, key: tuple, item: Any, delay_s: float) -> None:
@@ -212,10 +231,10 @@ class World:
                     if h is holder:
                         del pending[i]
                         break
-                ch = self._channels.get(key)
-                if ch is None:
-                    ch = self._channels[key] = deque()
-                ch.append(item)
+                if self.scheduler is not None:
+                    self.scheduler.on_put(self, key, item)
+                else:
+                    self._deliver(key, item)
                 self._cv.notify_all()
 
         t = threading.Timer(delay_s, fire)
@@ -237,6 +256,8 @@ class World:
                     ch = self._channels[key] = deque()
                 if ch:
                     return ch.popleft()
+                if self.scheduler is not None and self.scheduler.on_wait(self, key):
+                    continue  # the controller released a held message for us
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return _TIMEOUT
@@ -256,6 +277,13 @@ class World:
             for holder in self._pending_delays.get(key, ()):
                 if isinstance(holder[0], _Envelope) and holder[0].seq == seq:
                     return True
+            if self.scheduler is not None:
+                # Messages held by a schedule controller are physically in
+                # flight — the receiver must not count them as lost, or
+                # retransmit statistics would diverge between interleavings.
+                for item in self.scheduler.held_items(key):
+                    if isinstance(item, _Envelope) and item.seq == seq:
+                        return True
         return False
 
     def abort(self) -> None:
@@ -462,6 +490,8 @@ class Communicator:
         self._check_peer(dest, "destination")
         self.world.check_abort()
         world = self.world
+        if world.scheduler is not None:
+            world.scheduler.on_send(world, self.rank, dest, tag)
         if world.tracer is not None:
             world.tracer.record_send(
                 self._phase, self.rank, dest, tag, _payload_bytes(obj)
@@ -504,6 +534,8 @@ class Communicator:
         return self._trace_recv(source, tag, item)
 
     def _trace_recv(self, source: int, tag: int, payload: Any) -> Any:
+        if self.world.scheduler is not None:
+            self.world.scheduler.on_recv(self.world, source, self.rank, tag)
         tracer = self.world.tracer
         if tracer is not None:
             tracer.record_recv(
@@ -596,6 +628,9 @@ class Communicator:
     def barrier(self) -> None:
         """Synchronise all ranks."""
         self.world.check_abort()
+        scheduler = self.world.scheduler
+        if scheduler is not None:
+            scheduler.on_barrier_enter(self.world, self.rank)
         tracer = self.world.tracer
         if tracer is not None:
             tracer.record_barrier(self._phase, self.rank)
@@ -604,6 +639,8 @@ class Communicator:
         except threading.BrokenBarrierError:
             self.world.check_abort()
             raise DeadlockError(f"rank {self.rank}: barrier broken/timed out") from None
+        if scheduler is not None:
+            scheduler.on_barrier_exit(self.world, self.rank)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast from *root*; every rank returns the payload."""

@@ -36,7 +36,19 @@ from .errors import InjectedFault, RankFailure, SimMpiError
 from .faults import FaultPlan
 from .stats import TrafficStats
 
-__all__ = ["SpmdResult", "run_spmd"]
+__all__ = ["SpmdResult", "current_rank", "run_spmd"]
+
+_tls = threading.local()
+
+
+def current_rank() -> int | None:
+    """The simmpi rank of the calling thread, or None outside a rank.
+
+    Set by the SPMD launcher for the lifetime of each rank thread.  Used
+    by observers (e.g. the happens-before checker of
+    :mod:`repro.check.hb`) to attribute shared-state accesses to ranks.
+    """
+    return getattr(_tls, "rank", None)
 
 
 @dataclass
@@ -67,6 +79,7 @@ def run_spmd(
     faults: FaultPlan | None = None,
     transport: TransportPolicy | None = None,
     trace: Any | None = None,
+    schedule: Any | None = None,
     max_restarts: int = 0,
     restartable: Callable[[BaseException], bool] | None = None,
     **kwargs: Any,
@@ -103,6 +116,14 @@ def run_spmd(
         when set (identical results and traffic statistics).  Restart
         attempts reset the recorder so the timeline describes the
         successful attempt.
+    schedule:
+        A :class:`repro.check.ScheduleController` perturbing message
+        delivery and thread start order along a seeded interleaving.
+        Like *trace* it must be bit-transparent: a correct (race-free)
+        rank program produces identical results, traffic statistics and
+        trace structure under every schedule — the fuzzer in
+        :mod:`repro.check.schedules` asserts exactly that.  Per-run
+        state is reset on every (re)start attempt.
     max_restarts:
         How many times the whole world may be re-executed after a
         failure whose root cause satisfies *restartable* (default:
@@ -122,8 +143,11 @@ def run_spmd(
             faults.new_run()
         if trace is not None:
             trace.new_run()
+        if schedule is not None:
+            schedule.new_run()
         failure = _run_once(
-            nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace
+            nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace,
+            schedule,
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -144,16 +168,20 @@ def _run_once(
     faults: FaultPlan | None,
     transport: TransportPolicy | None,
     trace: Any | None = None,
+    schedule: Any | None = None,
 ) -> SpmdResult | RankFailure:
     world = World(nranks, timeout=timeout, faults=faults, transport=transport)
     world.fault_hook = fault_hook
     if trace is not None:
         trace.attach(world)
+    if schedule is not None:
+        world.scheduler = schedule
     values: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
     errors_lock = threading.Lock()
 
     def runner(rank: int) -> None:
+        _tls.rank = rank
         comm = Communicator(world, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
@@ -166,8 +194,13 @@ def _run_once(
         threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
         for rank in range(nranks)
     ]
-    for t in threads:
-        t.start()
+    start_order = range(nranks)
+    if schedule is not None:
+        # Seeded thread-wakeup perturbation: launch ranks in a permuted
+        # order so the OS scheduler sees a different arrival pattern.
+        start_order = schedule.start_order(nranks)
+    for rank in start_order:
+        threads[rank].start()
     for t in threads:
         t.join()
 

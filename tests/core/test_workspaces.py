@@ -18,8 +18,6 @@ from repro.core import (
     soi_plan_for,
 )
 from repro.core.soi import extended_input, soi_convolve, soi_fft, soi_ifft
-from repro.parallel import soi_fft_distributed, soi_ifft_distributed
-from repro.simmpi import run_spmd
 from repro.trace import TraceRecorder
 
 
@@ -122,60 +120,39 @@ class TestSoiPlanCache:
 
 
 class TestSequentialDistributedEquality:
+    """All assertions route through the shared ``seq_dist`` harness
+    (tests/conftest.py) — the invariant is stated in one place."""
+
     CASES = [(4096, 8, 4), (8192, 4, 4), (8192, 8, 2)]
-
-    @staticmethod
-    def _distributed(x, plan, nranks, **kwargs):
-        def body(comm):
-            block = plan.n // comm.size
-            lo = comm.rank * block
-            return soi_fft_distributed(comm, x[lo : lo + block], plan, **kwargs)
-
-        return np.concatenate(run_spmd(nranks, body).values)
 
     @pytest.mark.parametrize("n,p,nranks", CASES)
     @pytest.mark.parametrize("backend", ["numpy", "repro"])
-    def test_dist_bitwise_equals_sequential(self, n, p, nranks, backend, rng):
+    def test_dist_bitwise_equals_sequential(self, seq_dist, n, p, nranks, backend, rng):
         plan = soi_plan_for(n, p)
         x = _complex(rng, n)
-        seq = soi_fft(x, plan, backend=backend)
-        dist = self._distributed(x, plan, nranks, backend=backend)
-        np.testing.assert_array_equal(seq, dist)
+        seq_dist.assert_bitwise_vs_sequential(x, plan, nranks, backend=backend)
 
     @pytest.mark.parametrize("backend", ["numpy", "repro"])
-    def test_verify_path_is_bit_transparent(self, backend, rng):
+    def test_verify_path_is_bit_transparent(self, seq_dist, backend, rng):
         plan = soi_plan_for(4096, 8)
         x = _complex(rng, 4096)
-        plain = self._distributed(x, plan, 4, backend=backend)
-        verified = self._distributed(x, plan, 4, backend=backend, verify=True)
-        np.testing.assert_array_equal(plain, verified)
+        seq_dist.assert_bitwise_vs_sequential(
+            x, plan, 4, backend=backend, verify=True
+        )
 
     @pytest.mark.parametrize("backend", ["numpy", "repro"])
-    def test_trace_path_is_bit_transparent(self, backend, rng):
+    def test_trace_path_is_bit_transparent(self, seq_dist, backend, rng):
         plan = soi_plan_for(4096, 8)
         x = _complex(rng, 4096)
-        plain = self._distributed(x, plan, 4, backend=backend)
-
         rec = TraceRecorder()
-
-        def body(comm):
-            block = plan.n // comm.size
-            lo = comm.rank * block
-            return soi_fft_distributed(comm, x[lo : lo + block], plan, backend=backend)
-
-        traced = np.concatenate(run_spmd(4, body, trace=rec).values)
-        np.testing.assert_array_equal(plain, traced)
+        seq_dist.assert_bitwise_vs_sequential(
+            x, plan, 4, backend=backend, run_kwargs={"trace": rec}
+        )
         assert rec.timeline().spans  # the trace actually recorded work
 
-    def test_inverse_dist_bitwise_equals_sequential_inverse(self, rng):
+    def test_inverse_dist_bitwise_equals_sequential_inverse(self, seq_dist, rng):
         plan = soi_plan_for(4096, 8)
         x = _complex(rng, 4096)
-        seq = soi_ifft(x, plan, backend="repro")
-
-        def body(comm):
-            block = plan.n // comm.size
-            lo = comm.rank * block
-            return soi_ifft_distributed(comm, x[lo : lo + block], plan, backend="repro")
-
-        dist = np.concatenate(run_spmd(4, body).values)
-        np.testing.assert_array_equal(seq, dist)
+        seq_dist.assert_bitwise_vs_sequential(
+            x, plan, 4, backend="repro", inverse=True
+        )

@@ -92,6 +92,61 @@ class TestCachedOutputs:
         assert info["hits"] == 1
 
 
+class TestDtypeKeying:
+    """Same N, different caller dtype/layout: one sound shared plan.
+
+    Regression guard for the cache-key collision class: the key used to
+    be the bare length, so nothing *stated* that a plan built for one
+    dtype was safe for another.  The key now carries the normalised
+    compute dtype and the plan casts at its boundary — mixed-dtype
+    callers share one plan by construction, bit-identically.
+    """
+
+    DTYPES = [np.float32, np.float64, np.complex64, np.complex128, np.int32]
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_all_numeric_dtypes_share_one_plan(self, dtype):
+        assert plan_for(64, dtype) is plan_for(64, np.complex128)
+        assert plan_cache_info()["entries"] == 1
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.complex64])
+    @pytest.mark.parametrize("n", [64, 360, 97])
+    def test_low_precision_input_bit_identical_to_promoted(self, dtype, n, rng):
+        """A float32/complex64 caller must execute the identical
+        complex128 kernel as if it had promoted its input itself."""
+        if np.dtype(dtype).kind == "f":
+            x = rng.standard_normal(n).astype(dtype)
+        else:
+            x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(dtype)
+        out = fft(x)
+        promoted = FftPlan(n).execute(x.astype(np.complex128), inverse=False)
+        assert out.dtype == np.complex128
+        np.testing.assert_array_equal(out, promoted)
+
+    def test_fortran_ordered_and_strided_inputs(self, rng):
+        xb = rng.standard_normal((4, 128)) + 1j * rng.standard_normal((4, 128))
+        expected = FftPlan(128).execute(xb, inverse=False)
+        np.testing.assert_array_equal(fft(np.asfortranarray(xb)), expected)
+        strided = np.ascontiguousarray(
+            np.repeat(xb, 2, axis=1)
+        )[:, ::2]  # non-contiguous view with the same values
+        np.testing.assert_array_equal(fft(strided), expected)
+
+    def test_interleaved_dtypes_do_not_corrupt_each_other(self, rng):
+        x64 = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        x32 = x64.astype(np.complex64)
+        ref64 = FftPlan(128).execute(x64, inverse=False)
+        ref32 = FftPlan(128).execute(x32.astype(np.complex128), inverse=False)
+        for _ in range(3):  # alternate through the one shared entry
+            np.testing.assert_array_equal(fft(x64), ref64)
+            np.testing.assert_array_equal(fft(x32), ref32)
+        assert plan_cache_info()["entries"] == 1
+
+    def test_non_numeric_dtype_rejected(self):
+        with pytest.raises(TypeError, match="dtype"):
+            plan_for(64, np.dtype("U8"))
+
+
 class TestThreadSafety:
     SIZES = [32, 64, 128, 256]
 
@@ -135,3 +190,52 @@ class TestThreadSafety:
         for per_rank in run_spmd(8, body).values:
             for n in self.SIZES:
                 np.testing.assert_array_equal(per_rank[n], expected[n])
+
+
+class TestEvictionUnderConcurrency:
+    """``set_plan_cache_limit(1)`` *while* P=4 ranks execute transforms.
+
+    The worst case for the LRU: a bound of one entry with four sizes in
+    flight means nearly every lookup evicts what another rank just
+    built, while other ranks concurrently widen and re-shrink the
+    bound.  The cache must neither deadlock nor change a single output
+    bit — evictions may only ever cost rebuild time.
+    """
+
+    SIZES = [32, 64, 128, 256]
+    NRANKS = 4
+
+    def test_limit_thrash_is_deadlock_free_and_bitwise_stable(self):
+        for seed in range(10):
+            gen = np.random.default_rng(1000 + seed)
+            xs = {
+                n: gen.standard_normal(n) + 1j * gen.standard_normal(n)
+                for n in self.SIZES
+            }
+            expected = {
+                n: FftPlan(n).execute(x, inverse=False) for n, x in xs.items()
+            }
+
+            def body(comm, gen=gen):
+                order = list(self.SIZES)
+                np.random.default_rng(seed * 31 + comm.rank).shuffle(order)
+                out = {}
+                for _ in range(4):
+                    # Even ranks keep slamming the bound down to one
+                    # entry; odd ranks keep widening it mid-flight.
+                    set_plan_cache_limit(1 if comm.rank % 2 == 0 else 8)
+                    for n in order:
+                        out[n] = fft(xs[n])
+                return out
+
+            previous = set_plan_cache_limit(1)
+            try:
+                res = run_spmd(self.NRANKS, body, timeout=30)
+            finally:
+                set_plan_cache_limit(previous)
+            for per_rank in res.values:
+                for n in self.SIZES:
+                    np.testing.assert_array_equal(per_rank[n], expected[n])
+            info = plan_cache_info()
+            assert info["entries"] <= len(self.SIZES)
+            assert info["evictions"] > 0  # the thrash actually thrashed

@@ -5,49 +5,56 @@ import numpy as np
 import pytest
 
 from repro.bench.workloads import random_complex
-from repro.core import SoiPlan, snr_db, soi_fft
+from repro.core import SoiPlan, snr_db
 from repro.parallel import soi_fft_distributed, soi_rank_layout, split_blocks
 from repro.simmpi import run_spmd
+from tests.conftest import (
+    SNR_DIGITS10_DB,
+    SNR_FULL_DB,
+    SNR_FULL_REPRO_DB,
+    SNR_SEGMENT_DB,
+    SeqDistHarness,
+)
 
 
 def run_soi(n, nranks, plan, seed=0, **kwargs):
     x = random_complex(n, seed)
-    blocks = split_blocks(x, nranks)
-    res = run_spmd(
-        nranks, lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan, **kwargs)
-    )
-    return x, np.concatenate(res.values), res.stats
+    y, stats = SeqDistHarness.distributed(x, plan, nranks, **kwargs)
+    return x, y, stats
 
 
 class TestCorrectness:
     def test_matches_numpy(self, full_plan):
         x, y, _ = run_soi(full_plan.n, 4, full_plan, seed=1)
-        assert snr_db(y, np.fft.fft(x)) > 280.0
+        assert snr_db(y, np.fft.fft(x)) > SNR_FULL_DB
 
-    def test_bitwise_equal_to_sequential(self, full_plan):
+    def test_bitwise_equal_to_sequential(self, seq_dist, full_plan):
         """The distributed pipeline performs the identical flop sequence."""
-        x, y, _ = run_soi(full_plan.n, 4, full_plan, seed=2)
-        np.testing.assert_array_equal(y, soi_fft(x, full_plan))
+        seq_dist.assert_bitwise_vs_sequential(
+            random_complex(full_plan.n, 2), full_plan, 4
+        )
 
     @pytest.mark.parametrize("nranks", [1, 2, 4])
-    def test_rank_count_invariance(self, full_plan, nranks):
-        x, y, _ = run_soi(full_plan.n, nranks, full_plan, seed=3)
-        np.testing.assert_array_equal(y, soi_fft(x, full_plan))
+    def test_rank_count_invariance(self, seq_dist, full_plan, nranks):
+        seq_dist.assert_bitwise_vs_sequential(
+            random_complex(full_plan.n, 3), full_plan, nranks
+        )
 
-    def test_eight_ranks(self, medium_plan):
+    def test_eight_ranks(self, seq_dist, medium_plan):
         # full_plan's halo (592) exceeds the 8-rank block (512); the
         # medium plan's smaller stencil fits.
-        x, y, _ = run_soi(medium_plan.n, 8, medium_plan, seed=3)
-        np.testing.assert_array_equal(y, soi_fft(x, medium_plan))
+        seq_dist.assert_bitwise_vs_sequential(
+            random_complex(medium_plan.n, 3), medium_plan, 8
+        )
 
     def test_multiple_segments_per_rank(self, medium_plan):
         """The paper's configuration: 8 segments per process."""
         x, y, _ = run_soi(medium_plan.n, 2, medium_plan, seed=4)
-        assert snr_db(y, np.fft.fft(x)) > 190.0
+        assert snr_db(y, np.fft.fft(x)) > SNR_DIGITS10_DB
 
     def test_repro_backend(self, full_plan):
         x, y, _ = run_soi(full_plan.n, 4, full_plan, seed=5, backend="repro")
-        assert snr_db(y, np.fft.fft(x)) > 270.0
+        assert snr_db(y, np.fft.fft(x)) > SNR_FULL_REPRO_DB
 
     def test_output_is_in_order(self, full_plan):
         """In-order property: rank i's output is exactly y[i*N/R:(i+1)*N/R]."""
@@ -60,7 +67,7 @@ class TestCorrectness:
         ref = np.fft.fft(x)
         block = n // nranks
         for r in range(nranks):
-            assert snr_db(res[r], ref[r * block : (r + 1) * block]) > 250.0
+            assert snr_db(res[r], ref[r * block : (r + 1) * block]) > SNR_SEGMENT_DB
 
 
 class TestCommunicationStructure:

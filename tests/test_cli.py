@@ -54,6 +54,7 @@ class TestCli:
             "traffic",
             "trace",
             "bench-micro",
+            "check",
             "fig5",
             "fig6",
             "fig7",
@@ -120,3 +121,44 @@ class TestTraceSection:
         soi = payload["trace"]["runs"]["soi"]
         assert soi["rollup"]["retransmits"] > 0
         assert soi["snr_db"] > 280.0  # transport recovered the run
+
+
+class TestCheckSection:
+    def test_check_smoke_with_report(self, capsys, tmp_path):
+        path = tmp_path / "check.json"
+        assert (
+            main(
+                [
+                    "check",
+                    "--check-size", "small",
+                    "--schedules", "3",
+                    "--seed", "0",
+                    "--report-out", str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "conformance registry" in out
+        assert "deterministic: True" in out
+        assert "clean: True" in out
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["ok"] is True
+        assert doc["conformance"]["summary"]["entry_points"] >= 12
+        assert doc["fuzz"]["schedules"] == 3
+        assert doc["hb"]["clean"] is True
+
+    def test_check_json_payload_carries_verdict(self, capsys):
+        assert main(["check", "--check-size", "small", "--schedules", "2", "--json"]) == 0
+        payload = _json_payload(capsys.readouterr().out)
+        assert payload["check"]["ok"] is True
+        assert payload["check"]["fuzz"]["deterministic"] is True
+
+    def test_failed_audit_fails_the_run(self, capsys, monkeypatch):
+        """main() must exit non-zero when a section reports ok=False."""
+        from repro import __main__ as cli
+
+        monkeypatch.setitem(
+            cli.SECTIONS, "check", lambda args: {"ok": False, "reason": "forced"}
+        )
+        assert main(["check"]) == 1
