@@ -295,6 +295,59 @@ def _bench_micro(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _bench_overlap(args: argparse.Namespace) -> dict:
+    """Pipelined vs blocking distributed SOI; writes BENCH_PR5.json."""
+    from .bench import format_table, run_overlap_bench
+
+    payload = run_overlap_bench(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    head = payload["headline"]
+    zl = payload["zero_link"]
+    print(
+        format_table(
+            ["regime", "blocking us", "pipelined us", "speedup"],
+            [
+                [
+                    "5 MB/s + 300 us link",
+                    f"{head['blocking_us']:.0f}",
+                    f"{head['pipelined_us']:.0f}",
+                    f"{head['speedup']:.2f}x",
+                ],
+                [
+                    "no link model",
+                    f"{zl['blocking_us']:.0f}",
+                    f"{zl['pipelined_us']:.0f}",
+                    f"{zl['speedup']:.2f}x",
+                ],
+            ],
+            title="bench-overlap — distributed SOI, measured wall clock",
+        )
+    )
+    print(
+        f"headline: {head['name']}: {head['speedup']:.2f}x, "
+        f"bitwise equal to blocking: {head['bitwise_equal']}"
+    )
+    depth = payload["request_depth"].get("alltoall", {})
+    vr = payload["virtual_replay"]
+    print(
+        f"in-flight: max {depth.get('max_outstanding', 0)} outstanding "
+        f"requests in the alltoall phase; virtual critical-path alltoall "
+        f"stall {vr['blocking']['critical_path_stall_us'].get('alltoall', 0.0):.0f} us "
+        f"(blocking) vs "
+        f"{vr['pipelined']['critical_path_stall_us'].get('alltoall', 0.0):.0f} us "
+        f"(pipelined), strictly less: {vr['alltoall_stall_strictly_less']}"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR5.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
 def _check(args: argparse.Namespace) -> dict:
     """Correctness audit: conformance registry + schedule fuzzing + HB scan."""
     from .bench import format_table
@@ -348,13 +401,28 @@ def _check(args: argparse.Namespace) -> dict:
         f"({', '.join(sorted(hb_report['states_audited'])) or 'none'}), "
         f"clean: {hb_report['clean']}"
     )
+
+    # Same standard for the pipelined path: outputs and traffic must be
+    # bitwise schedule-independent (trace comparison is off by design —
+    # the waitany drain records arrival order; see fuzz_distributed_soi).
+    fuzz_overlap = fuzz_distributed_soi(
+        schedules=schedules, seed=f"{seed}/overlap", overlap=True
+    )
+    print(
+        f"schedule fuzz (overlap=True): {fuzz_overlap.schedules} replays, "
+        f"{fuzz_overlap.distinct_interleavings} distinct interleavings, "
+        f"deterministic: {fuzz_overlap.ok}"
+    )
+    for mm in fuzz_overlap.mismatches:
+        print(f"  MISMATCH schedule {mm.schedule_seed}: {mm.field} — {mm.detail}")
     print()
 
-    ok = bool(conf.ok and fuzz.ok and hb_report["clean"])
+    ok = bool(conf.ok and fuzz.ok and fuzz_overlap.ok and hb_report["clean"])
     payload = {
         "ok": ok,
         "conformance": conf.as_dict(),
         "fuzz": fuzz.as_dict(),
+        "fuzz_overlap": fuzz_overlap.as_dict(),
         "hb": hb_report,
     }
     report_out = getattr(args, "report_out", None)
@@ -378,6 +446,7 @@ SECTIONS = {
     "fig8": lambda args: _fig_sweeps(["fig8"])["fig8"],
     "fig9": _fig9,
     "bench-micro": _bench_micro,
+    "bench-overlap": _bench_overlap,
     "check": _check,
 }
 
@@ -409,19 +478,20 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-out",
         metavar="PATH",
         default=None,
-        help="bench-micro section: output JSON path (default BENCH_PR3.json)",
+        help="bench sections: output JSON path (default BENCH_PR3.json for "
+        "bench-micro, BENCH_PR5.json for bench-overlap)",
     )
     parser.add_argument(
         "--bench-quick",
         action="store_true",
-        help="bench-micro section: small sizes / few reps (CI smoke mode)",
+        help="bench sections: small sizes / few reps (CI smoke mode)",
     )
     parser.add_argument(
         "--bench-reps",
         metavar="N",
         type=int,
         default=None,
-        help="bench-micro section: repetitions per timed variant",
+        help="bench sections: repetitions / iterations per timed variant",
     )
     parser.add_argument(
         "--schedules",

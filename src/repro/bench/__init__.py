@@ -1,6 +1,7 @@
 """Benchmark harness shared by the per-figure benchmarks in benchmarks/."""
 
 from .micro import BENCH_SCHEMA, run_micro
+from .overlap import LINK_BANDWIDTH, LINK_LATENCY, OVERLAP_BENCH_SCHEMA, run_overlap_bench
 from .runner import FigureResult, measured_traffic, run_figure_sweep, trace_rollups
 from .tables import bar_chart, format_series, format_table
 from .workloads import chirp_signal, multitone, noisy_tones, random_complex, random_real
@@ -8,6 +9,10 @@ from .workloads import chirp_signal, multitone, noisy_tones, random_complex, ran
 __all__ = [
     "BENCH_SCHEMA",
     "run_micro",
+    "OVERLAP_BENCH_SCHEMA",
+    "run_overlap_bench",
+    "LINK_BANDWIDTH",
+    "LINK_LATENCY",
     "FigureResult",
     "measured_traffic",
     "run_figure_sweep",

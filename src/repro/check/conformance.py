@@ -457,6 +457,73 @@ def _dist_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
         detail="tracing is bit-transparent",
     )
 
+    # Pipelined (overlap=True) path: the restructured schedule must be
+    # bit-for-bit the blocking pipeline — same flops in the same order —
+    # and stay transparent under verify=/trace= and equal in traffic.
+    for backend in ("numpy", "repro"):
+        _bitwise_row(
+            report,
+            f"soi_fft_distributed[overlap=True,{backend}][n={n}]", "dist", n,
+            lambda backend=backend: (
+                dist(soi_fft_distributed, overlap=True, backend=backend),
+                dist(soi_fft_distributed, backend=backend),
+            ),
+            detail="pipelined == blocking, zero tolerance",
+        )
+    _bitwise_row(
+        report, f"soi_ifft_distributed[overlap=True][n={n}]", "dist", n,
+        lambda: (
+            dist(soi_ifft_distributed, overlap=True),
+            dist(soi_ifft_distributed),
+        ),
+        detail="pipelined inverse == blocking inverse",
+    )
+    _bitwise_row(
+        report, f"soi_fft_distributed[overlap=True,verify=True][n={n}]",
+        "dist", n,
+        lambda: (dist(soi_fft_distributed, overlap=True, verify=True), baseline),
+        detail="self-verification is bit-transparent on the pipelined path",
+    )
+
+    def traced_overlap():
+        rec = TraceRecorder()
+        out = dist(soi_fft_distributed, overlap=True, trace=rec)
+        if rec.nevents == 0:
+            raise RuntimeError("trace recorder captured no events")
+        tl = rec.timeline()
+        if not any(s.kind == "isend" for s in tl.spans):
+            raise RuntimeError("pipelined trace recorded no isend spans")
+        return out, baseline
+
+    _bitwise_row(
+        report, f"soi_fft_distributed[overlap=True,trace=][n={n}]", "dist", n,
+        traced_overlap,
+        detail="tracing is bit-transparent on the pipelined path",
+    )
+
+    def overlap_traffic():
+        def totals(**kwargs):
+            rows = []
+
+            def body(comm):
+                out = soi_fft_distributed(comm, blocks[comm.rank], plan, **kwargs)
+                if comm.rank == 0:
+                    for name in sorted(comm.stats.phases()):
+                        ph = comm.stats.phase(name)
+                        rows.append((ph.total_bytes, ph.alltoall_rounds))
+                return out
+
+            run_spmd(_DIST_RANKS, body)
+            return np.array(rows, dtype=np.int64)
+
+        return totals(overlap=True), totals()
+
+    _bitwise_row(
+        report, f"soi_overlap_traffic==blocking[n={n}]", "dist", n,
+        overlap_traffic,
+        detail="per-phase byte totals and alltoall rounds are invariant",
+    )
+
     # The six-step baseline is an *exact* transform: oracle tolerance.
     xt = _signal(f"dist.transpose[{transpose_n}]", transpose_n)
     tblocks = split_blocks(xt, _DIST_RANKS)

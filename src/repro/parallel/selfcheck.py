@@ -24,6 +24,8 @@ from ..simmpi.comm import Communicator, payload_checksum
 from ..simmpi.errors import VerificationError
 
 __all__ = [
+    "confirm_alltoall_slices",
+    "confirm_sendrecv",
     "verified_alltoall",
     "verified_sendrecv",
     "parseval_check",
@@ -47,8 +49,29 @@ def verified_alltoall(
     collective).  Bounded by *rounds* repair attempts, after which a
     :class:`VerificationError` is raised collectively.
     """
+    return confirm_alltoall_slices(
+        comm, sendbufs, list(comm.alltoall(sendbufs)), rounds=rounds
+    )
+
+
+def confirm_alltoall_slices(
+    comm: Communicator,
+    sendbufs: list[np.ndarray],
+    pieces: list[np.ndarray],
+    rounds: int = DEFAULT_VERIFY_ROUNDS,
+) -> list[np.ndarray]:
+    """CRC-confirm already-exchanged all-to-all slices, repairing bad ones.
+
+    The confirmation tail of :func:`verified_alltoall`, split out so
+    exchanges performed by other means — e.g. the pipelined SOI path,
+    which delivers each slice as several nonblocking group pieces — can
+    be verified identically.  ``sendbufs[d]`` must hold (or reproduce)
+    what this rank sent to rank d; ``pieces[s]`` what it assembled from
+    rank s.  Returns the repaired piece list; entries replaced during
+    repair are fresh arrays (callers holding views must copy them back).
+    """
     r = comm.size
-    pieces = list(comm.alltoall(sendbufs))
+    pieces = list(pieces)
     with comm.phase("verify"):
         crcs = [payload_checksum(b) for b in sendbufs]
         expected = comm.alltoall(crcs)  # expected[s]: CRC rank s computed for my slice
@@ -95,6 +118,24 @@ def verified_sendrecv(
     deadlocking their neighbours.
     """
     got = comm.sendrecv(obj, dest=dest, source=source)
+    return confirm_sendrecv(comm, obj, got, dest=dest, source=source, rounds=rounds)
+
+
+def confirm_sendrecv(
+    comm: Communicator,
+    obj: np.ndarray,
+    got: np.ndarray,
+    dest: int,
+    source: int,
+    rounds: int = DEFAULT_VERIFY_ROUNDS,
+) -> np.ndarray:
+    """Checksum-confirm an already-exchanged pairwise payload.
+
+    The tail of :func:`verified_sendrecv`: collective, same repair
+    rounds, but the initial exchange already happened (e.g. via
+    ``isend``/``irecv`` on the pipelined halo path).  Returns the
+    confirmed (possibly re-received) payload.
+    """
     with comm.phase("verify"):
         expected = comm.sendrecv(payload_checksum(obj), dest=dest, source=source)
         for attempt in range(rounds + 1):

@@ -33,11 +33,13 @@ from ..core.accuracy import error_budget
 from ..core.plan import SoiPlan
 from ..dft.backends import FftBackend, backend_fft_tt, get_backend
 from ..dft.flops import fft_flops, soi_convolution_flops
-from ..simmpi.comm import Communicator
+from ..simmpi.comm import Communicator, waitall, waitany
 from ..trace.spans import TraceRecorder
 from ..utils import require
 from .selfcheck import (
     DEFAULT_VERIFY_ROUNDS,
+    confirm_alltoall_slices,
+    confirm_sendrecv,
     parseval_check,
     verified_alltoall,
     verified_sendrecv,
@@ -46,9 +48,15 @@ from .selfcheck import (
 __all__ = [
     "soi_fft_distributed",
     "soi_ifft_distributed",
+    "soi_overlap_spans",
     "soi_rank_layout",
     "soi_verify_tolerance",
 ]
+
+# Tags of the pipelined path's nonblocking exchanges (positive: user
+# range; the collectives use negative tags).
+PIECE_TAG = 7
+HALO_TAG = 8
 
 
 def soi_verify_tolerance(plan: SoiPlan) -> float:
@@ -97,6 +105,29 @@ def soi_rank_layout(plan: SoiPlan, nranks: int) -> dict[str, int]:
     }
 
 
+def soi_overlap_spans(
+    plan: SoiPlan, block: int, groups: int
+) -> tuple[list[tuple[int, int]], int]:
+    """Chunk-group boundaries of the pipelined path: ``(spans, halo_free)``.
+
+    Window q reads raw samples ``[q*nu*P, q*nu*P + B*P)``, so the first
+    ``halo_free`` windows depend only on the local block — they can be
+    convolved while the halo is still in flight.  The first group is
+    exactly that prefix; the remaining windows are split evenly into
+    ``groups - 1`` further groups.  Empty groups are dropped (every rank
+    computes the same spans, so senders and receivers agree on the
+    piece count).
+    """
+    require(groups >= 2, f"overlap_groups must be >= 2, got {groups}")
+    q_local = block // (plan.nu * plan.p)
+    halo_free = (block - plan.b * plan.p) // (plan.nu * plan.p) + 1
+    halo_free = min(max(halo_free, 0), q_local)
+    cuts = np.linspace(halo_free, q_local, groups, dtype=int)
+    bounds = [0] + [int(c) for c in cuts]
+    spans = [(q0, q1) for q0, q1 in zip(bounds, bounds[1:]) if q1 > q0]
+    return spans, halo_free
+
+
 def soi_fft_distributed(
     comm: Communicator,
     x_local: np.ndarray,
@@ -105,11 +136,26 @@ def soi_fft_distributed(
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
     trace: TraceRecorder | None = None,
+    overlap: bool = False,
+    overlap_groups: int = 2,
 ) -> np.ndarray:
     """SPMD SOI FFT: each rank passes its block, receives its output block.
 
     Must be called collectively by all ranks of *comm* with a plan whose
     ``p`` is a multiple of ``comm.size``.
+
+    With ``overlap=True`` the rank program is restructured for
+    communication/computation overlap (see :func:`soi_overlap_spans`):
+    the halo travels as an ``isend`` while the halo-free window prefix
+    is convolved, each chunk group's all-to-all pieces are posted the
+    moment the group's column block is transformed, and arriving pieces
+    are drained ``waitany``-first into the preallocated segment buffer.
+    The floating-point schedule is unchanged — outputs and per-phase
+    traffic byte totals are bit-for-bit identical to the blocking path
+    (the conformance suite pins this); only message granularity and
+    timing differ.  All ranks must pass the same *overlap* and
+    *overlap_groups* (they are collective parameters, like counts in
+    MPI).
 
     With ``verify=True`` the transform self-checks (phase ``verify`` in
     the traffic stats): the halo and every all-to-all slice are
@@ -138,20 +184,27 @@ def soi_fft_distributed(
         vec.shape == (block,),
         f"rank {comm.rank}: expected local block of {block} samples, got {vec.shape}",
     )
+    if overlap and comm.size > 1:
+        return _soi_fft_pipelined(
+            comm, vec, plan, be, layout, verify, verify_rounds, overlap_groups
+        )
 
     # -- 1. halo: the forward-neighbour samples the last chunks read. ----
+    # The halo send is zero-copy (the substrate passes references and
+    # receivers only read): ``vec`` is private to this rank and never
+    # mutated, so no defensive copy is needed.
     with comm.phase("halo"):
         left = (comm.rank - 1) % comm.size
         right = (comm.rank + 1) % comm.size
         if comm.size == 1:
-            halo = vec[: plan.halo].copy()
+            halo = vec[: plan.halo]
         elif verify:
             halo = verified_sendrecv(
-                comm, vec[: plan.halo].copy(), dest=left, source=right,
+                comm, vec[: plan.halo], dest=left, source=right,
                 rounds=verify_rounds,
             )
         else:
-            halo = comm.sendrecv(vec[: plan.halo].copy(), dest=left, source=right)
+            halo = comm.sendrecv(vec[: plan.halo], dest=left, source=right)
 
     # -- 2. convolution: this rank's block-rows of z = W x. --------------
     q_local = layout["chunks_per_rank"]
@@ -204,6 +257,160 @@ def soi_fft_distributed(
     return y_local
 
 
+def _soi_fft_pipelined(
+    comm: Communicator,
+    vec: np.ndarray,
+    plan: SoiPlan,
+    be: FftBackend,
+    layout: dict[str, int],
+    verify: bool,
+    verify_rounds: int,
+    groups: int,
+) -> np.ndarray:
+    """The ``overlap=True`` rank program (same math, pipelined schedule).
+
+    Three overlaps, all hiding wire time behind the convolution:
+
+    - the halo ``isend`` departs before any compute, and the halo
+      ``irecv`` is only waited when the first halo-dependent window
+      group comes up — the halo-free prefix convolves during flight;
+    - each group's all-to-all pieces are ``isend``-posted as soon as
+      that column block is transformed, so early groups travel while
+      later groups compute;
+    - piece receives are posted up front and drained ``waitany``-first
+      (arrival order, not source order) into the segment buffer.
+
+    A two-slot send-buffer pool bounds outstanding send memory: posting
+    group g first completes group g-2's sends (payloads travel
+    zero-copy, so a buffer must stay untouched until consumed).
+    """
+    block = layout["block"]
+    s_per = layout["segments_per_rank"]
+    q_local = layout["chunks_per_rank"]
+    rows_pr = layout["rows_per_rank"]
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    spans, _ = soi_overlap_spans(plan, block, groups)
+
+    with comm.phase("halo"):
+        halo_send = comm.isend(vec[: plan.halo], left, tag=HALO_TAG)
+        halo_req = comm.irecv(right, tag=HALO_TAG)
+
+    with comm.phase("alltoall"):
+        if comm.rank == 0:
+            comm.stats.record_alltoall("alltoall")
+        recv_reqs = []
+        recv_slots = []
+        for src in range(comm.size):
+            if src == comm.rank:
+                continue
+            c0 = src * rows_pr
+            for q0, q1 in spans:
+                recv_reqs.append(comm.irecv(src, tag=PIECE_TAG))
+                recv_slots.append((c0 + q0 * plan.mu, c0 + q1 * plan.mu))
+
+    # Extended-input workspace with a zero tail; re-derived (same buffer,
+    # same strides) once the halo lands, so the per-window contraction is
+    # literally the blocking path's einsum on identical bytes.
+    winb = plan.window_view(vec, np.zeros(plan.halo, dtype=np.complex128), q_local)
+    segs = np.empty((s_per, plan.m_over), dtype=np.complex128)
+    my0 = comm.rank * rows_pr
+    halo = None
+    pool: list[tuple | None] = [None, None]
+    group_pieces: list[list] | None = [[] for _ in range(comm.size)] if verify else None
+
+    for g, (q0, q1) in enumerate(spans):
+        if halo is None and (q1 - 1) * plan.nu * plan.p + plan.b * plan.p > block:
+            # This group's last window reads past the local block: the
+            # halo must have landed.  Same program point on every rank
+            # (spans depend only on the layout), so the verify confirm
+            # stays collectively ordered.
+            with comm.phase("halo"):
+                halo = halo_req.wait()
+                if verify:
+                    halo = confirm_sendrecv(
+                        comm, vec[: plan.halo], halo, dest=left, source=right,
+                        rounds=verify_rounds,
+                    )
+            winb = plan.window_view(vec, halo, q_local)
+        zg = plan.contract_windows_t(winb[q0:q1]).reshape(plan.p, -1)
+        comm.trace_compute(
+            "convolve",
+            soi_convolution_flops((q1 - q0) * plan.mu * plan.p, plan.b),
+            kind="conv",
+        )
+        vg = backend_fft_tt(be, zg).reshape(comm.size, s_per, -1)
+        comm.trace_compute("fft-p", (q1 - q0) * plan.mu * fft_flops(plan.p))
+        with comm.phase("alltoall"):
+            slot = g % 2
+            if pool[slot] is not None:
+                waitall(pool[slot][1])  # double-buffer: retire g-2's sends
+            sends = []
+            for dst in range(comm.size):
+                if dst == comm.rank:
+                    segs[:, my0 + q0 * plan.mu : my0 + q1 * plan.mu] = vg[dst]
+                    comm.stats.record_message(
+                        "alltoall", comm.rank, comm.rank, vg[dst].nbytes
+                    )
+                else:
+                    sends.append(comm.isend(vg[dst], dst, tag=PIECE_TAG))
+            pool[slot] = (vg, sends)
+            if group_pieces is not None:
+                for dst in range(comm.size):
+                    group_pieces[dst].append(vg[dst])
+
+    if halo is None:  # every window was halo-free: collect the halo anyway
+        with comm.phase("halo"):
+            halo = halo_req.wait()
+            if verify:
+                halo = confirm_sendrecv(
+                    comm, vec[: plan.halo], halo, dest=left, source=right,
+                    rounds=verify_rounds,
+                )
+
+    with comm.phase("alltoall"):
+        outstanding = len(recv_reqs)
+        while outstanding:
+            i, piece = waitany(recv_reqs)
+            a, b = recv_slots[i]
+            segs[:, a:b] = piece
+            outstanding -= 1
+        halo_send.wait()
+        for slot in (0, 1):
+            if pool[slot] is not None:
+                waitall(pool[slot][1])
+
+    if verify:
+        # Rebuild the blocking path's per-destination slices from the
+        # retained group pieces and run the identical CRC confirm.
+        sendbufs = [np.concatenate(group_pieces[d], axis=1) for d in range(comm.size)]
+        pieces = [
+            segs[:, s * rows_pr : (s + 1) * rows_pr]
+            if s != comm.rank
+            else sendbufs[comm.rank]
+            for s in range(comm.size)
+        ]
+        fixed = confirm_alltoall_slices(comm, sendbufs, pieces, rounds=verify_rounds)
+        for s in range(comm.size):
+            if s != comm.rank and fixed[s] is not pieces[s]:
+                segs[:, s * rows_pr : (s + 1) * rows_pr] = fixed[s]
+
+    yt = be.fft(segs)
+    comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
+    y_local = yt[:, : plan.m] * plan.demod_recip[None, :]
+    y_local = y_local.reshape(block)
+    if verify:
+        parseval_check(
+            comm,
+            float(np.sum(np.abs(vec) ** 2)),
+            y_local,
+            plan.n,
+            soi_verify_tolerance(plan),
+            "soi_fft_distributed",
+        )
+    return y_local
+
+
 def soi_ifft_distributed(
     comm: Communicator,
     y_local: np.ndarray,
@@ -212,6 +419,8 @@ def soi_ifft_distributed(
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
     trace: TraceRecorder | None = None,
+    overlap: bool = False,
+    overlap_groups: int = 2,
 ) -> np.ndarray:
     """Distributed inverse SOI transform (approximates ``ifft``).
 
@@ -228,6 +437,7 @@ def soi_ifft_distributed(
     forward = soi_fft_distributed(
         comm, np.conj(vec), plan, backend=backend,
         verify=verify, verify_rounds=verify_rounds, trace=trace,
+        overlap=overlap, overlap_groups=overlap_groups,
     )
     np.conjugate(forward, out=forward)
     forward /= plan.n

@@ -14,9 +14,24 @@ truncate/bitflip) and phase-boundary rank kills, and
 :class:`TransportPolicy` layers a reliable transport (checksums,
 sequence numbers, bounded retransmission with exponential backoff)
 whose recovery cost is itself recorded in :class:`TrafficStats`.
+
+Nonblocking primitives (:meth:`Communicator.isend`/``irecv`` returning
+:class:`Request` handles, completed by :func:`waitall`/:func:`waitany`)
+support communication/computation overlap; an optional modelled link
+(``link_latency``/``link_bandwidth`` on :func:`run_spmd`) gives
+messages a wall-clock cost that pipelined algorithms can hide.
 """
 
-from .comm import Communicator, TransportPolicy, World
+from .comm import (
+    Communicator,
+    RecvRequest,
+    Request,
+    SendRequest,
+    TransportPolicy,
+    World,
+    waitall,
+    waitany,
+)
 from .errors import (
     CorruptMessageError,
     DeadlockError,
@@ -34,6 +49,11 @@ __all__ = [
     "Communicator",
     "World",
     "TransportPolicy",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
+    "waitany",
     "CorruptMessageError",
     "DeadlockError",
     "InjectedFault",

@@ -34,10 +34,31 @@ machinery.  Retransmission triggers are simulation-exact — a receiver
 asks for redelivery only when the expected sequence number was
 physically transmitted and is neither queued nor delayed in flight —
 which keeps retry counts bit-reproducible for a given fault seed.
+
+Nonblocking layer (MPI's request model, used by the pipelined SOI path):
+
+- :meth:`Communicator.isend` / :meth:`Communicator.irecv` return
+  :class:`Request` handles with ``wait``/``test`` semantics;
+  :func:`waitall` / :func:`waitany` complete sets of them.  An ``isend``
+  performs ALL wire effects at post time (fault injection, transport
+  framing, traffic accounting, trace recording) — only *completion* is
+  deferred, so per-channel FIFO order, the fault indices and the byte
+  accounting are identical to the blocking calls.  Chunked
+  :meth:`Communicator.ialltoall` / :meth:`Communicator.ialltoallv`
+  build the global exchange from these primitives.
+- An optional **link model** (``link_latency_s`` / ``link_bandwidth``
+  on the :class:`World`) serialises off-rank messages through a
+  per-sender NIC and delays delivery by a wire latency, using one
+  background pump thread with a deadline heap.  Per-channel FIFO order
+  is preserved (per-source departure times are monotone), so fault
+  injection, the reliable transport and schedule fuzzing compose
+  unchanged.  Without link parameters the pump does not exist and
+  delivery is immediate, exactly as before.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 import zlib
@@ -58,7 +79,16 @@ from .errors import (
 from .faults import FaultPlan, corrupt_payload
 from .stats import TrafficStats
 
-__all__ = ["World", "Communicator", "TransportPolicy"]
+__all__ = [
+    "World",
+    "Communicator",
+    "TransportPolicy",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
+    "waitany",
+]
 
 _DEFAULT_TIMEOUT = 120.0
 
@@ -142,6 +172,73 @@ class _Envelope:
     nbytes: int  # declared payload size (truncation detector)
 
 
+class _LinkPump:
+    """Background delivery thread modelling a per-sender NIC and a wire.
+
+    Every off-rank message departs when the sender's NIC is free
+    (``depart = max(now, nic_free[src])``; the NIC is then busy for
+    ``nbytes / bandwidth`` seconds) and arrives ``latency_s`` after the
+    last byte leaves.  One thread drains a deadline heap; payload
+    references ride in per-channel FIFO deques, so arrival order per
+    channel equals post order (per-source departures are monotone and
+    the heap breaks due-time ties by submission sequence).
+    """
+
+    def __init__(self, world: "World", latency_s: float, bandwidth: float | None):
+        self.world = world
+        self.latency_s = latency_s
+        self.bandwidth = bandwidth
+        self._cv = threading.Condition()
+        self._heap: list[tuple[float, int, tuple]] = []  # (due, seq, key)
+        self._queues: dict[tuple, deque] = {}
+        self._seq = 0
+        self._nic_free: dict[int, float] = {}
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name="simmpi-link-pump", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, key: tuple, item: Any, nbytes: int) -> None:
+        src = key[0]
+        now = time.monotonic()
+        with self._cv:
+            depart = max(now, self._nic_free.get(src, 0.0))
+            wire = (nbytes / self.bandwidth) if self.bandwidth else 0.0
+            self._nic_free[src] = depart + wire
+            self._queues.setdefault(key, deque()).append(item)
+            self._seq += 1
+            heapq.heappush(self._heap, (depart + wire + self.latency_s, self._seq, key))
+            self._cv.notify()
+
+    def pending_items(self, key: tuple) -> tuple:
+        """Snapshot of undelivered payloads on *key* (for ``_in_flight``)."""
+        with self._cv:
+            return tuple(self._queues.get(key, ()))
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._cv.notify()
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._heap and not self._stopped:
+                    self._cv.wait()
+                if self._stopped:
+                    return  # world is over; undelivered messages are moot
+                due, _, key = self._heap[0]
+                delay = due - time.monotonic()
+                if delay > 0:
+                    self._cv.wait(delay)
+                    continue
+                heapq.heappop(self._heap)
+                item = self._queues[key].popleft()
+            self.world._arrive(key, item)
+
+
 class World:
     """Shared state of one SPMD execution: channels, barrier, stats.
 
@@ -155,6 +252,8 @@ class World:
         timeout: float = _DEFAULT_TIMEOUT,
         faults: FaultPlan | None = None,
         transport: TransportPolicy | None = None,
+        link_latency_s: float = 0.0,
+        link_bandwidth: float | None = None,
     ) -> None:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -188,6 +287,17 @@ class World:
         self._send_seq: dict[tuple, int] = {}
         self._unacked: dict[tuple, list] = {}  # (src,dst,tag,seq) -> [env, attempts]
         self._recv_state: dict[tuple, dict] = {}  # (src,dst,tag) -> {expected, stash}
+        # Nonblocking-layer state (all guarded by _cv unless noted):
+        # activity ticks wake request waiters whenever anything that could
+        # complete a request happens (delivery, consumption, an ack).
+        self._activity = 0
+        self._consumed: dict[tuple, int] = {}  # channel key -> items popped
+        self._raw_posted: dict[tuple, int] = {}  # guarded by _state_lock
+        self._pending_recvs: dict[tuple, deque] = {}  # key -> RecvRequests, FIFO
+        # Optional modelled interconnect: one pump thread when active.
+        self._pump: _LinkPump | None = None
+        if link_latency_s > 0.0 or link_bandwidth is not None:
+            self._pump = _LinkPump(self, link_latency_s, link_bandwidth)
 
     # ---- channel primitives (condition-based, no polling) ----------------
 
@@ -206,7 +316,8 @@ class World:
             ch = self._channels[key] = deque()
         ch.append(item)
 
-    def _put(self, key: tuple, item: Any) -> None:
+    def _arrive(self, key: tuple, item: Any) -> None:
+        """Final delivery into the channel (scheduler-aware, takes ``_cv``)."""
         with self._cv:
             if self.scheduler is not None:
                 # The controller may deliver now or hold the message for a
@@ -217,7 +328,14 @@ class World:
                 self._deliver(key, item)
             # Unconditional: even a held message must wake receivers so
             # their wait loop reaches the scheduler's release hook.
+            self._activity += 1
             self._cv.notify_all()
+
+    def _put(self, key: tuple, item: Any) -> None:
+        if self._pump is not None and key[0] != key[1]:
+            self._pump.submit(key, item, self._wire_bytes(item))
+            return
+        self._arrive(key, item)
 
     def _delayed_put(self, key: tuple, item: Any, delay_s: float) -> None:
         holder = [item]  # identity token (payloads may be ndarrays: no ==)
@@ -225,17 +343,15 @@ class World:
             self._pending_delays.setdefault(key, []).append(holder)
 
         def fire() -> None:
+            # Hand off to the normal path first (pump or direct) so the
+            # message is never invisible to _in_flight between the two steps.
+            self._put(key, item)
             with self._cv:
                 pending = self._pending_delays.get(key, [])
                 for i, h in enumerate(pending):
                     if h is holder:
                         del pending[i]
                         break
-                if self.scheduler is not None:
-                    self.scheduler.on_put(self, key, item)
-                else:
-                    self._deliver(key, item)
-                self._cv.notify_all()
 
         t = threading.Timer(delay_s, fire)
         t.daemon = True
@@ -255,13 +371,36 @@ class World:
                 if ch is None:
                     ch = self._channels[key] = deque()
                 if ch:
-                    return ch.popleft()
+                    item = ch.popleft()
+                    self._note_consumed_locked(key)
+                    return item
                 if self.scheduler is not None and self.scheduler.on_wait(self, key):
                     continue  # the controller released a held message for us
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return _TIMEOUT
                 self._cv.wait(remaining)
+
+    def _note_consumed_locked(self, key: tuple) -> None:
+        """Record one popped item on *key*.  Caller holds ``_cv``.
+
+        Consumption ordinals complete raw-substrate send requests, and
+        the activity tick wakes any request waiter to re-poll.
+        """
+        self._consumed[key] = self._consumed.get(key, 0) + 1
+        self._activity += 1
+        self._cv.notify_all()
+
+    def consumed_count(self, key: tuple) -> int:
+        with self._cv:
+            return self._consumed.get(key, 0)
+
+    def next_raw_ordinal(self, key: tuple) -> int:
+        """Logical-send ordinal on a raw (transport-less) channel."""
+        with self._state_lock:
+            n = self._raw_posted.get(key, 0)
+            self._raw_posted[key] = n + 1
+            return n
 
     def _in_flight(self, key: tuple, seq: int) -> bool:
         """Whether envelope *seq* is queued or delay-scheduled on *key*.
@@ -284,6 +423,11 @@ class World:
                 for item in self.scheduler.held_items(key):
                     if isinstance(item, _Envelope) and item.seq == seq:
                         return True
+        if self._pump is not None:
+            # Messages riding the modelled link are in flight too.
+            for item in self._pump.pending_items(key):
+                if isinstance(item, _Envelope) and item.seq == seq:
+                    return True
         return False
 
     def abort(self) -> None:
@@ -404,6 +548,15 @@ class World:
             self._unacked.pop((src, dst, tag, env.seq), None)
         if self.transport is not None:
             self.stats.record_ack(env.phase, self.transport.control_nbytes)
+        with self._cv:
+            # An ack completes the matching transport SendRequest.
+            self._activity += 1
+            self._cv.notify_all()
+
+    def shutdown(self) -> None:
+        """Release background resources (the link-pump thread, if any)."""
+        if self._pump is not None:
+            self._pump.stop()
 
     def recv_state(self, src: int, dst: int, tag: Any) -> dict:
         with self._state_lock:
@@ -415,6 +568,298 @@ class World:
 
     def comm(self, rank: int) -> "Communicator":
         return Communicator(self, rank)
+
+
+class Request:
+    """Handle for one nonblocking operation (MPI request semantics).
+
+    ``wait()`` blocks until completion and returns the operation's value
+    (the payload for a receive, ``None`` for a send); ``test()`` returns
+    ``(done, value)`` without blocking.  Both are idempotent: once a
+    request has been claimed, further calls return the cached value.
+
+    Outstanding-request *depth* is charged to the traffic statistics at
+    fixed program points — post time here, and the moment completion is
+    first observed by the caller (``wait`` returning, ``test`` returning
+    True, :func:`waitany` selecting the request).  Claim points are
+    program-order-deterministic, so the depth profile is invariant under
+    schedule fuzzing even though internal arrival order is not.
+    """
+
+    def __init__(self, comm: "Communicator", phase: str) -> None:
+        self._comm = comm
+        self._world = comm.world
+        self._phase = phase
+        self._done = False
+        self._value: Any = None
+        self._world.stats.record_request_post(phase, comm.rank)
+
+    @property
+    def completed(self) -> bool:
+        """Whether completion has been claimed (via wait/test/waitany)."""
+        return self._done
+
+    def _claim(self, value: Any) -> None:
+        if not self._done:
+            self._done = True
+            self._value = value
+            self._world.stats.record_request_complete(self._phase, self._comm.rank)
+
+    def _poll(self) -> tuple[bool, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check: ``(done, value)``."""
+        if self._done:
+            return True, self._value
+        ok, val = self._poll()
+        if ok:
+            self._claim(val)
+            return True, self._value
+        return False, None
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; returns the value (DeadlockError on timeout)."""
+        if self._done:
+            return self._value
+        world = self._world
+        budget = world.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            world.check_abort()
+            with world._cv:
+                ticks = world._activity
+            # Progress engine: a waiting rank services its own posted
+            # receives (as MPI progress does inside MPI_Wait).  Without
+            # this, two ranks blocked on each other's *consumption* —
+            # e.g. both retiring send buffers — would deadlock.
+            self._comm._progress()
+            ok, val = self._poll()
+            if ok:
+                self._claim(val)
+                return self._value
+            with world._cv:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self._comm.rank}: request.wait timed out "
+                        f"after {budget}s ({self!r})"
+                    )
+                if world._activity == ticks:
+                    # Nothing happened since the poll; sleep until the next
+                    # activity tick (capped: ticks can race the snapshot).
+                    world._cv.wait(min(remaining, 0.1))
+
+
+class SendRequest(Request):
+    """Completion handle of :meth:`Communicator.isend`.
+
+    The message is already on the wire; completion means the payload
+    buffer may be reused.  On the raw substrate that is when the
+    receiver has popped this message (tracked by per-channel consumption
+    ordinals); under the reliable transport, when the envelope is acked.
+    Note the raw substrate cannot distinguish *which* pop consumed which
+    logical send under duplicate faults — combine nonblocking sends with
+    fault injection through the transport, which tracks acknowledged
+    sequence numbers exactly.
+    """
+
+    def __init__(
+        self, comm: "Communicator", phase: str, dest: int, tag: int
+    ) -> None:
+        super().__init__(comm, phase)
+        self._key = (comm.rank, dest, tag)
+        self._seq: int | None = None  # transport sequence number
+        self._ordinal: int | None = None  # raw-substrate consumption ordinal
+
+    def _poll(self) -> tuple[bool, Any]:
+        world = self._world
+        if self._seq is not None:
+            src, dst, tag = self._key
+            return (not world.has_unacked(src, dst, tag, self._seq)), None
+        return (world.consumed_count(self._key) > (self._ordinal or 0)), None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        src, dst, tag = self._key
+        return f"SendRequest({src}->{dst}, tag={tag}, done={self._done})"
+
+
+class RecvRequest(Request):
+    """Completion handle of :meth:`Communicator.irecv`.
+
+    Posted requests on one channel form a FIFO queue on the world;
+    arriving messages fulfil them head-first, so waiting on a later
+    request transparently fulfils (and caches) the earlier ones —
+    matching MPI's nonovertaking rule.  Fulfilment (payload binding,
+    scheduler ``on_recv``) follows channel arrival order; the *trace*
+    records the receive at claim time — the point where the program
+    actually observed completion — under the posting phase.  Claim-time
+    recording is what lets the virtual replay see overlap: a message
+    that landed during compute replays as a short (or absent) wait at
+    the claim, not as a stall at its arrival.
+    """
+
+    def __init__(
+        self, comm: "Communicator", phase: str, source: int, tag: int
+    ) -> None:
+        super().__init__(comm, phase)
+        self._source = source
+        self._tag = tag
+        self._key = (source, comm.rank, tag)
+        self._fulfilled = False
+        self._rvalue: Any = None
+
+    def _finish(self, payload: Any) -> None:
+        """Bind the arrived payload (fulfilment: channel arrival order)."""
+        world = self._world
+        if world.scheduler is not None:
+            world.scheduler.on_recv(world, self._source, self._comm.rank, self._tag)
+        self._rvalue = payload
+        self._fulfilled = True
+
+    def _claim(self, value: Any) -> None:
+        if not self._done and self._world.tracer is not None:
+            self._world.tracer.record_recv(
+                self._phase,
+                self._source,
+                self._comm.rank,
+                self._tag,
+                _payload_bytes(value),
+            )
+        super()._claim(value)
+
+    def _poll(self) -> tuple[bool, Any]:
+        if not self._fulfilled:
+            if self._world.transport is not None:
+                self._comm._drain_pending_reliable(self._key, self._source, self._tag)
+            else:
+                self._comm._drain_pending(self._key)
+        return self._fulfilled, self._rvalue
+
+    def wait(self, timeout: float | None = None) -> Any:
+        if self._done:
+            return self._value
+        if self._world.transport is None:
+            return super().wait(timeout=timeout)
+        # Reliable transport: drive the blocking receive machinery (which
+        # owns the retransmit-request logic) until this request's turn in
+        # the channel FIFO comes up.
+        world = self._world
+        while not self._fulfilled:
+            self._comm._progress()
+            if self._fulfilled:
+                break
+            with world._cv:
+                head = world._pending_recvs[self._key][0]
+            payload = self._comm._recv_reliable(self._source, self._tag)
+            with world._cv:
+                world._pending_recvs[self._key].popleft()
+            head._finish(payload)
+        self._claim(self._rvalue)
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecvRequest({self._source}->{self._comm.rank}, "
+            f"tag={self._tag}, done={self._done})"
+        )
+
+
+class _CollectiveRequest:
+    """Aggregate request of ``ialltoall``/``ialltoallv`` (duck-typed).
+
+    Wraps the member send/receive requests; ``wait`` assembles the
+    received list exactly as the blocking collective returns it.  Not a
+    :class:`Request`: depth accounting belongs to the member requests.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        sends: list[SendRequest],
+        recvs: dict[int, list[RecvRequest]],
+        out: list,
+        chunks: int,
+    ) -> None:
+        self._comm = comm
+        self._world = comm.world
+        self._sends = sends
+        self._recvs = recvs
+        self._out = out
+        self._chunks = chunks
+        self._done = False
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def _assemble(self, src: int, parts: list) -> None:
+        self._out[src] = parts[0] if self._chunks == 1 else np.concatenate(parts)
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._out
+        pending = [r for rs in self._recvs.values() for r in rs] + self._sends
+        if not all(r.test()[0] for r in pending):
+            return False, None
+        for src, rs in self._recvs.items():
+            self._assemble(src, [r.wait() for r in rs])
+        self._done = True
+        return True, self._out
+
+    def wait(self, timeout: float | None = None) -> list:
+        if self._done:
+            return self._out
+        for src, rs in self._recvs.items():
+            self._assemble(src, [r.wait(timeout=timeout) for r in rs])
+        for s in self._sends:
+            s.wait(timeout=timeout)
+        self._done = True
+        return self._out
+
+
+def waitall(requests: Sequence[Any], timeout: float | None = None) -> list:
+    """Complete every request; returns their values in request order."""
+    return [r.wait(timeout=timeout) for r in requests]
+
+
+def waitany(
+    requests: Sequence[Any], timeout: float | None = None
+) -> tuple[int, Any]:
+    """Wait until SOME unclaimed request completes: ``(index, value)``.
+
+    Completion order is arrival order, not post order — this is the
+    primitive that lets the pipelined SOI consume whichever piece lands
+    first.  Already-claimed requests are skipped (inactive, as in MPI);
+    returns ``(-1, None)`` when every request is already claimed.
+    """
+    live = [(i, r) for i, r in enumerate(requests) if not r.completed]
+    if not live:
+        return -1, None
+    world = live[0][1]._world
+    budget = world.timeout if timeout is None else timeout
+    deadline = time.monotonic() + budget
+    comm = live[0][1]._comm
+    while True:
+        world.check_abort()
+        with world._cv:
+            ticks = world._activity
+        comm._progress()  # service this rank's posted receives while waiting
+        for i, r in live:
+            if r.completed:
+                continue  # claimed through an alias while we swept
+            ok, val = r.test()
+            if ok:
+                return i, val
+        with world._cv:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"waitany timed out after {budget}s "
+                    f"({len(live)} requests outstanding)"
+                )
+            if world._activity == ticks:
+                world._cv.wait(min(remaining, 0.1))
 
 
 class Communicator:
@@ -500,6 +945,9 @@ class Communicator:
         if world.fault_hook is not None:
             payload = world.fault_hook(self.rank, dest, tag, payload)
         if world.transport is None:
+            # Keep logical-send ordinals aligned with channel consumption
+            # even for blocking sends: isend completion counts pops.
+            world.next_raw_ordinal((self.rank, dest, tag))
             index = 0
             if world.faults is not None:
                 index = world.faults.next_index(self._phase, self.rank, dest)
@@ -520,6 +968,10 @@ class Communicator:
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from rank *source* (timeout -> DeadlockError)."""
         self._check_peer(source, "source")
+        if self.world._pending_recvs.get((source, self.rank, tag)):
+            # Posted irecvs on this channel queue ahead of us (MPI's
+            # nonovertaking rule): join the FIFO instead of stealing.
+            return self.irecv(source, tag).wait()
         if self.world.transport is not None:
             payload = self._recv_reliable(source, tag)
             return self._trace_recv(source, tag, payload)
@@ -622,6 +1074,252 @@ class Communicator:
         """Combined send+receive (safe against head-of-line blocking)."""
         self.send(obj, dest, tag)
         return self.recv(source, tag)
+
+    # ---- nonblocking point-to-point ----------------------------------------
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
+        """Nonblocking send: all wire effects happen NOW, completion later.
+
+        Fault injection, transport framing, traffic accounting and trace
+        recording run at post time exactly as in :meth:`send` — the
+        returned :class:`SendRequest` only defers the "buffer reusable"
+        signal.  Payloads travel zero-copy, so do not mutate *obj* until
+        the request completes.
+        """
+        self._check_peer(dest, "destination")
+        self.world.check_abort()
+        world = self.world
+        if world.scheduler is not None:
+            world.scheduler.on_send(world, self.rank, dest, tag)
+        if world.tracer is not None:
+            world.tracer.record_isend(
+                self._phase, self.rank, dest, tag, _payload_bytes(obj)
+            )
+        payload = obj
+        if world.fault_hook is not None:
+            payload = world.fault_hook(self.rank, dest, tag, payload)
+        req = SendRequest(self, self._phase, dest, tag)
+        if world.transport is None:
+            req._ordinal = world.next_raw_ordinal((self.rank, dest, tag))
+            index = 0
+            if world.faults is not None:
+                index = world.faults.next_index(self._phase, self.rank, dest)
+            world.wire_send(self._phase, self.rank, dest, tag, payload, index=index)
+            return req
+        seq = world.next_send_seq(self.rank, dest, tag)
+        crc = payload_checksum(payload) if world.transport.checksums else None
+        env = _Envelope(
+            seq=seq,
+            phase=self._phase,
+            payload=payload,
+            crc=crc,
+            nbytes=_payload_bytes(payload),
+        )
+        world.register_unacked(self.rank, dest, tag, env)
+        world.wire_send(self._phase, self.rank, dest, tag, env, index=seq)
+        req._seq = seq
+        return req
+
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        """Nonblocking receive: joins the channel's posted-request FIFO."""
+        self._check_peer(source, "source")
+        self.world.check_abort()
+        req = RecvRequest(self, self._phase, source, tag)
+        with self.world._cv:
+            self.world._pending_recvs.setdefault(
+                (source, self.rank, tag), deque()
+            ).append(req)
+        return req
+
+    def _drain_pending(self, key: tuple) -> None:
+        """Fulfil posted irecvs on *key* head-first from available items.
+
+        Raw substrate only.  Fulfilment happens under ``_cv`` (so FIFO
+        order is atomic with channel pops); trace recording runs after
+        release, still in fulfilment order — all of a channel's requests
+        belong to one rank thread, so no interleaving can reorder them.
+        """
+        world = self.world
+        ready: list[tuple[RecvRequest, Any]] = []
+        with world._cv:
+            if world.abort_event.is_set():
+                raise SimMpiError("aborted: another rank failed")
+            pending = world._pending_recvs.get(key)
+            while pending:
+                ch = world._channels.get(key)
+                if not ch:
+                    if world.scheduler is not None and world.scheduler.on_wait(
+                        world, key
+                    ):
+                        continue  # the controller released a held message
+                    break
+                item = ch.popleft()
+                world._note_consumed_locked(key)
+                ready.append((pending.popleft(), item))
+        for req, item in ready:
+            req._finish(item)
+
+    def _drain_pending_reliable(self, key: tuple, source: int, tag: int) -> None:
+        """Transport variant of :meth:`_drain_pending` (nonblocking poll).
+
+        Never requests retransmission — recovery decisions belong to the
+        blocking path (:meth:`RecvRequest.wait`), which owns the
+        patience/backoff state.
+        """
+        world = self.world
+        while True:
+            with world._cv:
+                pending = world._pending_recvs.get(key)
+                if not pending:
+                    return
+                head = pending[0]
+            ok, payload = self._try_recv_reliable(source, tag)
+            if not ok:
+                return
+            with world._cv:
+                world._pending_recvs[key].popleft()
+            head._finish(payload)
+
+    def _progress(self) -> None:
+        """Service every posted receive of this rank (the progress engine).
+
+        Called from request wait loops so that a rank blocked on one
+        request keeps consuming messages destined for its other posted
+        irecvs — the property that makes "completion = consumption" send
+        semantics deadlock-free, just like MPI's progress rule.
+        """
+        world = self.world
+        with world._cv:
+            keys = [
+                k for k, q in world._pending_recvs.items() if q and k[1] == self.rank
+            ]
+        for key in keys:
+            if world.transport is None:
+                self._drain_pending(key)
+            else:
+                self._drain_pending_reliable(key, key[0], key[2])
+
+    def _try_recv_reliable(self, source: int, tag: int) -> tuple[bool, Any]:
+        """One nonblocking step of the reliable receive: ``(got, payload)``.
+
+        Consumes whatever is already queued (acking in-sequence data,
+        discarding duplicates and junk, stashing reordered envelopes)
+        but never waits and never triggers retransmission.
+        """
+        world = self.world
+        key = (source, self.rank, tag)
+        st = world.recv_state(source, self.rank, tag)
+        while True:
+            expected = st["expected"]
+            env = st["stash"].pop(expected, None)
+            if env is None:
+                got = world._get(key, 0.0)  # deadline in the past: poll
+                if got is _TIMEOUT:
+                    return False, None
+                if not isinstance(got, _Envelope):
+                    world.stats.record_corrupt(self._phase)
+                    continue
+                env = got
+                if env.seq < expected:
+                    world.stats.record_duplicate(env.phase)
+                    continue
+                if env.seq > expected:
+                    st["stash"][env.seq] = env
+                    continue
+            if self._integrity_failure(env) is not None:
+                # Put it back for the blocking path, which owns the retry
+                # budget and will request redelivery.
+                st["stash"][expected] = env
+                return False, None
+            world.ack(source, self.rank, tag, env)
+            st["expected"] = expected + 1
+            return True, env.payload
+
+    def ialltoall(self, objs: Sequence[Any], chunks: int = 1) -> _CollectiveRequest:
+        """Nonblocking chunked personalised all-to-all (tag ``-7``).
+
+        Each off-rank item is split into *chunks* pieces
+        (``np.array_split`` along axis 0) and pipelined as independent
+        isends; the matching irecvs are posted up front.  ``wait()``
+        reassembles and returns the same list :meth:`alltoall` would.
+        All ranks must pass the same *chunks* (it is part of the
+        collective contract, like counts in MPI); non-array payloads
+        require ``chunks=1``.  One all-to-all round is charged, and the
+        byte totals equal the blocking collective's exactly.
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"ialltoall needs exactly {self.size} send items")
+        if chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
+        if self.rank == 0:
+            self.stats.record_alltoall(self._phase)
+        out: list[Any] = [None] * self.size
+        self.stats.record_message(
+            self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+        )
+        out[self.rank] = objs[self.rank]
+        sends: list[SendRequest] = []
+        for dst in range(self.size):
+            if dst == self.rank:
+                continue
+            for part in self._split_chunks(objs[dst], chunks):
+                sends.append(self.isend(part, dst, tag=-7))
+        recvs = {
+            src: [self.irecv(src, tag=-7) for _ in range(chunks)]
+            for src in range(self.size)
+            if src != self.rank
+        }
+        return _CollectiveRequest(self, sends, recvs, out, chunks)
+
+    def ialltoallv(
+        self,
+        objs: Sequence[Any],
+        sources: Sequence[int] | None = None,
+        chunks: int = 1,
+    ) -> _CollectiveRequest:
+        """Nonblocking chunked :meth:`alltoallv` (tag ``-8``).
+
+        ``objs[d] is None`` sends nothing to rank d; *sources* names the
+        ranks to receive from (default: all).  Sender and receiver must
+        agree on *chunks* for each exchanged pair, as in MPI counts.
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"ialltoallv needs exactly {self.size} send items")
+        if chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
+        if self.rank == 0:
+            self.stats.record_alltoall(self._phase)
+        src_list = list(range(self.size)) if sources is None else list(sources)
+        for src in src_list:
+            self._check_peer(src, "source")
+        out: list[Any] = [None] * self.size
+        if objs[self.rank] is not None:
+            self.stats.record_message(
+                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+            )
+            out[self.rank] = objs[self.rank]
+        sends: list[SendRequest] = []
+        for dst in range(self.size):
+            if dst == self.rank or objs[dst] is None:
+                continue
+            for part in self._split_chunks(objs[dst], chunks):
+                sends.append(self.isend(part, dst, tag=-8))
+        recvs = {
+            src: [self.irecv(src, tag=-8) for _ in range(chunks)]
+            for src in src_list
+            if src != self.rank
+        }
+        return _CollectiveRequest(self, sends, recvs, out, chunks)
+
+    @staticmethod
+    def _split_chunks(obj: Any, chunks: int) -> list:
+        if chunks == 1:
+            return [obj]
+        if not isinstance(obj, np.ndarray):
+            raise TypeError(
+                f"chunked collectives require ndarray payloads, got {type(obj).__name__}"
+            )
+        return list(np.array_split(obj, chunks))
 
     # ---- collectives -------------------------------------------------------
 

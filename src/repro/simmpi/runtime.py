@@ -80,6 +80,8 @@ def run_spmd(
     transport: TransportPolicy | None = None,
     trace: Any | None = None,
     schedule: Any | None = None,
+    link_latency: float = 0.0,
+    link_bandwidth: float | None = None,
     max_restarts: int = 0,
     restartable: Callable[[BaseException], bool] | None = None,
     **kwargs: Any,
@@ -116,6 +118,14 @@ def run_spmd(
         when set (identical results and traffic statistics).  Restart
         attempts reset the recorder so the timeline describes the
         successful attempt.
+    link_latency / link_bandwidth:
+        Optional modelled interconnect: every off-rank message is
+        serialised through the sender's NIC at *link_bandwidth* bytes/s
+        and delivered *link_latency* seconds after its last byte departs
+        (see :class:`~repro.simmpi.comm._LinkPump`).  Defaults model an
+        infinitely fast wire — delivery at post time, exactly the
+        historical behaviour.  Used by the overlap benchmark to give
+        communication a real wall-clock cost that pipelining can hide.
     schedule:
         A :class:`repro.check.ScheduleController` perturbing message
         delivery and thread start order along a seeded interleaving.
@@ -147,7 +157,7 @@ def run_spmd(
             schedule.new_run()
         failure = _run_once(
             nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace,
-            schedule,
+            schedule, link_latency, link_bandwidth,
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -169,8 +179,17 @@ def _run_once(
     transport: TransportPolicy | None,
     trace: Any | None = None,
     schedule: Any | None = None,
+    link_latency: float = 0.0,
+    link_bandwidth: float | None = None,
 ) -> SpmdResult | RankFailure:
-    world = World(nranks, timeout=timeout, faults=faults, transport=transport)
+    world = World(
+        nranks,
+        timeout=timeout,
+        faults=faults,
+        transport=transport,
+        link_latency_s=link_latency,
+        link_bandwidth=link_bandwidth,
+    )
     world.fault_hook = fault_hook
     if trace is not None:
         trace.attach(world)
@@ -203,6 +222,7 @@ def _run_once(
         threads[rank].start()
     for t in threads:
         t.join()
+    world.shutdown()
 
     if errors:
         errors.sort(key=lambda e: e[0])

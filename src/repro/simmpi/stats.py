@@ -48,6 +48,13 @@ class PhaseTraffic:
     corrupt_detected: int = 0
     acks: int = 0
     control_bytes: int = 0
+    # Nonblocking-request counters (populated only by isend/irecv use):
+    # deepest outstanding-request queue any rank reached in this phase,
+    # and how many post/claim transitions LANDED at each depth.  Both are
+    # program-order quantities (see Request), so they are deterministic
+    # under schedule fuzzing.
+    max_outstanding: int = 0
+    time_at_depth: dict[int, int] = field(default_factory=lambda: defaultdict(int))
 
     @property
     def total_bytes(self) -> int:
@@ -89,6 +96,11 @@ class PhaseTraffic:
             "corrupt_detected": self.corrupt_detected,
             "acks": self.acks,
             "control_bytes": self.control_bytes,
+            "max_outstanding": self.max_outstanding,
+            "time_at_depth": {
+                str(depth): int(count)
+                for depth, count in sorted(self.time_at_depth.items())
+            },
         }
 
     @classmethod
@@ -108,8 +120,11 @@ class PhaseTraffic:
             "corrupt_detected",
             "acks",
             "control_bytes",
+            "max_outstanding",
         ):
             setattr(ph, name, int(data.get(name, 0)))
+        for depth, count in data.get("time_at_depth", {}).items():
+            ph.time_at_depth[int(depth)] = int(count)
         return ph
 
 
@@ -124,6 +139,7 @@ class TrafficStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._phases: dict[str, PhaseTraffic] = defaultdict(PhaseTraffic)
+        self._req_depth: dict[tuple[str, int], int] = {}  # (phase, rank) -> depth
 
     def record_message(self, phase: str, src: int, dst: int, nbytes: int) -> None:
         with self._lock:
@@ -167,6 +183,25 @@ class TrafficStats:
             ph = self._phases[phase]
             ph.acks += 1
             ph.control_bytes += int(nbytes)
+
+    # ---- nonblocking-request depth (outstanding isend/irecv handles) -----
+
+    def record_request_post(self, phase: str, rank: int) -> None:
+        """A rank posted a request: depth += 1, histogram the new depth."""
+        with self._lock:
+            depth = self._req_depth.get((phase, rank), 0) + 1
+            self._req_depth[(phase, rank)] = depth
+            ph = self._phases[phase]
+            if depth > ph.max_outstanding:
+                ph.max_outstanding = depth
+            ph.time_at_depth[depth] += 1
+
+    def record_request_complete(self, phase: str, rank: int) -> None:
+        """A rank claimed a completion: depth -= 1 (floored at zero)."""
+        with self._lock:
+            depth = max(self._req_depth.get((phase, rank), 0) - 1, 0)
+            self._req_depth[(phase, rank)] = depth
+            self._phases[phase].time_at_depth[depth] += 1
 
     # ---- queries ---------------------------------------------------------
 

@@ -26,6 +26,7 @@ from .analysis import (
     CriticalPath,
     alltoall_epochs,
     critical_path,
+    inflight_profile,
     rollup,
     wait_attribution,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "CriticalPath",
     "alltoall_epochs",
     "critical_path",
+    "inflight_profile",
     "rollup",
     "wait_attribution",
     "aggregate",

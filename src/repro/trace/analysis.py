@@ -21,7 +21,7 @@ module answers the questions the paper's evaluation asks of it:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .spans import Span, VirtualTimeline
 
@@ -29,6 +29,7 @@ __all__ = [
     "CriticalPath",
     "alltoall_epochs",
     "critical_path",
+    "inflight_profile",
     "rollup",
     "wait_attribution",
 ]
@@ -81,6 +82,11 @@ class CriticalPath:
     spans: list[Span]
     makespan: float
     network_s: float
+    #: Wait durations the backward walk bridged through (per phase).
+    #: Bridged waits are replaced on the path by their releasing send's
+    #: chain, so they never appear in ``spans`` — this records how long
+    #: the critical chain sat blocked in each phase regardless.
+    bridged_wait_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def length_s(self) -> float:
@@ -98,6 +104,28 @@ class CriticalPath:
             out[s.kind] += s.duration
         if self.network_s > 0.0:
             out["network"] += self.network_s
+        return dict(out)
+
+    def wait_by_phase_s(self) -> dict[str, float]:
+        """Seconds the critical chain spent stalled in communication,
+        per phase.
+
+        Counts time the path's rank could not compute because it was
+        inside a communication call: blocking ``send`` spans (the rank
+        sits in the call while the message serialises onto the wire),
+        ``wait``/``retransmit`` spans remaining on the path, and the
+        bridged waits the backward walk jumped through.  Nonblocking
+        ``isend`` posts are *not* stalls — the CPU returns immediately
+        and the wire time runs on the virtual NIC.  This is the overlap
+        acceptance metric: pipelining must shrink the all-to-all stall
+        the critical chain carries, not just move it off-path.
+        """
+        out: dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if s.kind in ("wait", "send", "retransmit"):
+                out[s.phase] += s.duration
+        for phase, secs in self.bridged_wait_s.items():
+            out[phase] += secs
         return dict(out)
 
 
@@ -127,6 +155,7 @@ def critical_path(tl: VirtualTimeline) -> CriticalPath:
     cur = max(leaves, key=lambda s: (s.t1, s.rank))
     path: list[Span] = []
     network = 0.0
+    bridged: dict[str, float] = defaultdict(float)
     seen: set[int] = set()
     while cur.uid not in seen:
         seen.add(cur.uid)
@@ -134,6 +163,7 @@ def critical_path(tl: VirtualTimeline) -> CriticalPath:
             nxt = by_uid.get(cur.cause)
             if nxt is not None:
                 network += max(0.0, cur.t1 - nxt.t1)
+                bridged[cur.phase] += cur.duration
                 cur = nxt
                 continue
         path.append(cur)
@@ -150,7 +180,56 @@ def critical_path(tl: VirtualTimeline) -> CriticalPath:
             break
         cur = by_uid[p]
     path.reverse()
-    return CriticalPath(spans=path, makespan=tl.makespan, network_s=network)
+    return CriticalPath(
+        spans=path,
+        makespan=tl.makespan,
+        network_s=network,
+        bridged_wait_s=dict(bridged),
+    )
+
+
+def inflight_profile(tl: VirtualTimeline) -> dict[str, dict]:
+    """In-flight message depth over virtual time, per sending phase.
+
+    A message is in flight from its (i)send span's start until its
+    matching recv span ends; a sweep over those intervals yields, per
+    phase, the maximum simultaneous depth and the seconds spent at each
+    nonzero depth.  The pipelined SOI shows depth > 1 in the
+    ``alltoall`` phase — the overlap made visible — while the blocking
+    path's one-at-a-time exchanges stay at depth <= P-1 only inside the
+    collective.
+    """
+    by_uid = tl.by_uid()
+    intervals: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for s in tl.spans:
+        if s.kind != "recv" or s.cause is None:
+            continue
+        snd = by_uid.get(s.cause)
+        if snd is not None and snd.kind in ("send", "isend"):
+            intervals[snd.phase].append((snd.t0, s.t1))
+    out: dict[str, dict] = {}
+    for phase, pairs in sorted(intervals.items()):
+        edges = sorted(
+            [(t0, 1) for t0, _ in pairs] + [(t1, -1) for _, t1 in pairs]
+        )  # at equal times the -1 sorts first: back-to-back != overlapped
+        depth = 0
+        max_depth = 0
+        prev: float | None = None
+        time_at: dict[int, float] = defaultdict(float)
+        for t, step in edges:
+            if prev is not None and t > prev and depth > 0:
+                time_at[depth] += t - prev
+            depth += step
+            max_depth = max(max_depth, depth)
+            prev = t
+        out[phase] = {
+            "messages": len(pairs),
+            "max_depth": max_depth,
+            "time_at_depth_s": {
+                str(d): time_at[d] for d in sorted(time_at)
+            },
+        }
+    return out
 
 
 def rollup(tl: VirtualTimeline) -> dict:
@@ -190,5 +269,6 @@ def rollup(tl: VirtualTimeline) -> dict:
             "network_s": cp.network_s,
             "coverage": cp.coverage,
             "by_kind_s": cp.by_kind_s(),
+            "wait_by_phase_s": cp.wait_by_phase_s(),
         },
     }

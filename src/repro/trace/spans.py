@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Span kinds a virtual timeline can contain.
-SPAN_KINDS = ("compute", "send", "recv", "collective", "wait", "retransmit")
+SPAN_KINDS = ("compute", "send", "isend", "recv", "collective", "wait", "retransmit")
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,7 @@ class TraceCostModel:
     latency_s: float = 2e-6  # one-way wire latency per message
     delivery_s: float = 1e-7  # receiver-side handoff per message
     barrier_s: float = 5e-6  # synchronisation cost once all ranks arrive
+    post_overhead_s: float = 5e-7  # CPU cost of posting one nonblocking send
 
     def compute_time(self, flops: float, kind: str = "fft") -> float:
         """Seconds to execute *flops* at the node's effective rate."""
@@ -244,6 +245,25 @@ class TraceRecorder:
                 )
             )
 
+    def record_isend(
+        self, phase: str, src: int, dst: int, tag: Any, nbytes: int
+    ) -> None:
+        """A nonblocking send post.  Shares the per-channel ordinal family
+        with :meth:`record_send` (the receiver's k-th receive matches the
+        channel's k-th logical send, blocking or not), but replays as a
+        short post span: the wire time runs on the rank's virtual NIC,
+        concurrently with subsequent compute."""
+        with self._lock:
+            key = (src, dst, tag)
+            idx = self._send_counts[key]
+            self._send_counts[key] = idx + 1
+            self._events[src].append(
+                TraceEvent(
+                    kind="isend", rank=src, phase=phase, name=f"isend->{dst}",
+                    peer=dst, tag=tag, index=idx, nbytes=int(nbytes),
+                )
+            )
+
     def record_recv(
         self, phase: str, src: int, dst: int, tag: Any, nbytes: int
     ) -> None:
@@ -333,7 +353,7 @@ def _replay(events: dict[int, list[TraceEvent]], cost: TraceCostModel) -> Virtua
     total_sends: dict[tuple, int] = defaultdict(int)
     for evs in events.values():
         for ev in evs:
-            if ev.kind == "send":
+            if ev.kind in ("send", "isend"):
                 total_sends[(ev.rank, ev.peer, ev.tag)] += 1
 
     idx = {r: 0 for r in ranks}
@@ -341,6 +361,9 @@ def _replay(events: dict[int, list[TraceEvent]], cost: TraceCostModel) -> Virtua
     last_span: dict[int, int | None] = {r: None for r in ranks}
     avail: dict[tuple, tuple[float, int]] = {}  # channel+ordinal -> (time, send uid)
     open_coll: dict[int, list[tuple[float, str, str]]] = {r: [] for r in ranks}
+    # Per-rank virtual NIC: nonblocking sends serialise onto it in post
+    # order, overlapping with the poster's subsequent compute.
+    nic_free: dict[int, float] = defaultdict(float)
 
     def advance(rank: int) -> bool:
         """Process rank events until a cross-rank dependency blocks.
@@ -361,6 +384,22 @@ def _replay(events: dict[int, list[TraceEvent]], cost: TraceCostModel) -> Virtua
                 )
                 avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
                     t + dur + cost.latency_s,
+                    s.uid,
+                )
+                nic_free[rank] = t + dur  # a blocking send occupies the NIC too
+            elif ev.kind == "isend":
+                # The poster pays only the post overhead; the message then
+                # serialises through the rank's NIC and arrives one wire
+                # time plus latency later — concurrent with later spans.
+                s = emit(
+                    rank, "isend", ev.name, ev.phase, t, t + cost.post_overhead_s,
+                    nbytes=ev.nbytes, peer=ev.peer,
+                )
+                depart = max(s.t1, nic_free[rank])
+                done = depart + cost.wire_time(ev.nbytes)
+                nic_free[rank] = done
+                avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
+                    done + cost.latency_s,
                     s.uid,
                 )
             elif ev.kind == "retransmit":

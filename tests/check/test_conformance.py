@@ -100,6 +100,23 @@ class TestRegistry:
                        "verify=True", "trace=", "float32"):
             assert needle in names, f"registry lost coverage of {needle}"
 
+    def test_overlap_rows_covered(self, report):
+        """The pipelined path is pinned bitwise in the registry: forward
+        (both backends), inverse, verify=/trace= transparency, and the
+        per-phase traffic-totals row."""
+        names = " ".join(r.name for r in report.rows)
+        for needle in (
+            "soi_fft_distributed[overlap=True,numpy]",
+            "soi_fft_distributed[overlap=True,repro]",
+            "soi_ifft_distributed[overlap=True]",
+            "soi_fft_distributed[overlap=True,verify=True]",
+            "soi_fft_distributed[overlap=True,trace=]",
+            "soi_overlap_traffic==blocking",
+        ):
+            assert needle in names, f"registry lost coverage of {needle}"
+        overlap_rows = [r for r in report.rows if "overlap" in r.name]
+        assert all(r.tolerance == 0.0 for r in overlap_rows)
+
     def test_report_roundtrips_through_json(self, report):
         d = json.loads(json.dumps(report.as_dict()))
         assert d["schema"] == "repro.check.conformance/1"

@@ -158,3 +158,55 @@ class TestAsDictRoundTrip:
         d = ph.as_dict()
         assert list(d["bytes_by_pair"]) == ["0->1", "2->0"]
         assert PhaseTraffic.from_dict(d).bytes_by_pair == ph.bytes_by_pair
+
+
+class TestRequestDepth:
+    """Outstanding-request depth accounting (nonblocking PR satellite)."""
+
+    def test_post_claim_histogram(self):
+        stats = TrafficStats()
+        stats.record_request_post("p", 0)
+        stats.record_request_post("p", 0)
+        stats.record_request_complete("p", 0)
+        stats.record_request_post("p", 0)
+        ph = stats.phase("p")
+        assert ph.max_outstanding == 2
+        # Transitions: ->1, ->2, ->1, ->2.
+        assert ph.time_at_depth == {1: 2, 2: 2}
+
+    def test_depth_is_per_rank_per_phase(self):
+        stats = TrafficStats()
+        stats.record_request_post("p", 0)
+        stats.record_request_post("p", 1)  # a different rank's queue
+        stats.record_request_post("q", 0)  # a different phase's queue
+        assert stats.phase("p").max_outstanding == 1
+        assert stats.phase("q").max_outstanding == 1
+
+    def test_claim_floors_at_zero(self):
+        stats = TrafficStats()
+        stats.record_request_complete("p", 0)
+        assert stats.phase("p").max_outstanding == 0
+        assert stats.phase("p").time_at_depth == {0: 1}
+
+    def test_depth_survives_round_trip(self):
+        stats = TrafficStats()
+        stats.record_message("p", 0, 1, 64)
+        for _ in range(3):
+            stats.record_request_post("p", 1)
+        stats.record_request_complete("p", 1)
+        clone = TrafficStats.from_dict(stats.as_dict())
+        ph = clone.phase("p")
+        assert ph.max_outstanding == 3
+        assert ph.time_at_depth == stats.phase("p").time_at_depth
+        assert all(isinstance(k, int) for k in ph.time_at_depth)
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_depth_keys_are_json_strings(self):
+        import json
+
+        stats = TrafficStats()
+        stats.record_request_post("p", 0)
+        d = stats.as_dict()
+        json.dumps(d)
+        assert d["phases"]["p"]["max_outstanding"] == 1
+        assert list(d["phases"]["p"]["time_at_depth"]) == ["1"]

@@ -54,6 +54,7 @@ class TestCli:
             "traffic",
             "trace",
             "bench-micro",
+            "bench-overlap",
             "check",
             "fig5",
             "fig6",
