@@ -348,6 +348,55 @@ def _bench_overlap(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _bench_resilience(args: argparse.Namespace) -> dict:
+    """ABFT overhead, recovery latency, chaos soak; writes BENCH_PR6.json."""
+    from .bench import format_table, run_resilience_bench
+
+    payload = run_resilience_bench(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    ov = payload["fault_free_overhead"]
+    rec = payload["recovery"]
+    print(
+        format_table(
+            ["case", "us", "note"],
+            [
+                ["blocking, fault-free", f"{ov['blocking_us']:.0f}", ""],
+                [
+                    "resilience=, fault-free",
+                    f"{ov['resilient_us']:.0f}",
+                    f"overhead {ov['overhead_fraction'] * 100:+.1f}% "
+                    f"(<=10%: {ov['meets_10pct_budget']})",
+                ],
+                [
+                    "resilience=, kill@alltoall",
+                    f"{rec['killed_run_us']:.0f}",
+                    f"recovery {rec['recovery_bytes']} B / "
+                    f"{rec['recovery_flops']} flops, "
+                    f"bitwise recovered: {rec['bitwise_recovered']}",
+                ],
+            ],
+            title="bench-resilience — survivable SOI, measured wall clock",
+        )
+    )
+    soak = payload["chaos_soak"]
+    print(
+        f"chaos soak: {soak['scenarios']} seeded (phase x victim x schedule "
+        f"x nranks) scenarios — {soak['recovered']} recovered, "
+        f"{soak['structured_failures']} structured failures "
+        f"(kill@replicate only), {soak['hangs']} hangs, "
+        f"{soak['total_wall_s']:.1f}s total"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR6.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
 def _check(args: argparse.Namespace) -> dict:
     """Correctness audit: conformance registry + schedule fuzzing + HB scan."""
     from .bench import format_table
@@ -447,6 +496,7 @@ SECTIONS = {
     "fig9": _fig9,
     "bench-micro": _bench_micro,
     "bench-overlap": _bench_overlap,
+    "bench-resilience": _bench_resilience,
     "check": _check,
 }
 
@@ -479,7 +529,8 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="bench sections: output JSON path (default BENCH_PR3.json for "
-        "bench-micro, BENCH_PR5.json for bench-overlap)",
+        "bench-micro, BENCH_PR5.json for bench-overlap, BENCH_PR6.json for "
+        "bench-resilience)",
     )
     parser.add_argument(
         "--bench-quick",

@@ -1,0 +1,322 @@
+"""Measured cost of surviving failures: ABFT overhead and recovery latency.
+
+Three questions, answered with real ``time.perf_counter_ns`` measurements
+of this process (same min-of-reps, barrier-separated recipe as
+:mod:`repro.bench.micro`):
+
+``fault_free_overhead``
+    What does ``resilience=`` cost when nothing fails?  The resilient
+    path replicates each input block to its left neighbour (replacing
+    the halo exchange), sends one sidecar checksum vector per
+    all-to-all block, and runs one commit round — the headline compares
+    steady-state per-transform cost (batches of back-to-back
+    transforms, so the commit rendezvous pipelines with the next
+    iteration exactly as in a repeated-transform workload) against the
+    plain blocking transform on the same input.  Acceptance for the
+    PR: <= 10% on the headline configuration.
+
+``recovery``
+    What does one rank death cost end to end?  The same transform with
+    a seeded phase-boundary kill: survivors detect the casualty, agree
+    on the failed set, and the buddy recomputes the dead rank's
+    contribution.  Reported as measured latency next to the fault-free
+    resilient latency, plus the recovery bytes/flops actually charged
+    to :class:`~repro.simmpi.stats.TrafficStats`.
+
+``chaos_soak``
+    Does it *always* terminate correctly?  A seeded sweep over
+    (kill phase x victim x schedule seed x world size) scenarios — the
+    PR's acceptance demands >= 25 — where every run must either produce
+    a spectrum within the conformance tolerance (single failure,
+    resilience on) or raise a structured ``RankFailedError`` (the
+    designed-unrecoverable kill at ``replicate`` entry), under a hard
+    wall-clock guard.  Zero hangs, zero silent corruption.
+
+``python -m repro bench-resilience`` runs this and writes
+``BENCH_PR6.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from ..check.conformance import soi_tolerance
+from ..check.schedules import ScheduleController
+from ..core.plan import SoiPlan
+from ..parallel.distribution import split_blocks
+from ..parallel.resilience import SoiResilience
+from ..parallel.soi_dist import soi_fft_distributed
+from ..simmpi.errors import RankFailedError, SpmdError
+from ..simmpi.faults import FaultPlan
+from ..simmpi.runtime import run_spmd
+
+__all__ = ["RESILIENCE_BENCH_SCHEMA", "SOAK_PHASES", "run_resilience_bench"]
+
+RESILIENCE_BENCH_SCHEMA = "repro-bench-resilience/1"
+
+#: Kill phases of the chaos soak.  ``replicate`` is the designed-
+#: unrecoverable boundary (the input dies with the rank before any copy
+#: exists); every later phase must be survived.
+SOAK_PHASES = ("replicate", "convolve", "fft-p", "alltoall", "fft-m", "commit")
+
+#: Hard wall-clock guard per soak scenario (seconds).  A hang is a
+#: failure of the PR's central promise, so the guard is generous but
+#: real — the simmpi timeout fires far earlier on a healthy run.
+_SOAK_WALL_GUARD = 60.0
+
+
+def _rel_err(got: np.ndarray, ref: np.ndarray) -> float:
+    denom = float(np.linalg.norm(ref))
+    return float(np.linalg.norm(got - ref) / denom) if denom else 0.0
+
+
+#: Back-to-back transforms per timed batch in the overhead headline.
+#: Measuring a pipelined batch (instead of one barrier-bracketed
+#: transform) reports steady-state throughput: the commit round's
+#: rendezvous overlaps the next iteration's work exactly as it would in
+#: a real repeated-transform workload, instead of charging the full
+#: rank-wakeup cascade of the simulator's thread scheduler to every
+#: single transform.
+_OVERHEAD_BATCH = 8
+
+
+def _fault_free_overhead(plan: SoiPlan, nranks: int, iters: int) -> dict:
+    x = np.asarray(
+        np.random.default_rng(plan.n % 9973).standard_normal(plan.n)
+        + 1j * np.random.default_rng(plan.n % 9973 + 1).standard_normal(plan.n)
+    )
+    blocks = split_blocks(x, nranks)
+    # One shared blackboard for all iterations: fault-free runs record
+    # nothing on it, so reuse is state-free.
+    shared = SoiResilience()
+    reps = max(4, iters)
+
+    # Both variants run interleaved inside ONE SPMD world (so slow drift
+    # of the host cancels instead of biasing whichever variant ran
+    # second), alternating which variant leads each rep (so warm-cache /
+    # scheduler-placement bias cancels too).
+    def timed_batch(comm, resilience):
+        comm.barrier()
+        t0 = time.perf_counter_ns()
+        for _ in range(_OVERHEAD_BATCH):
+            soi_fft_distributed(
+                comm, blocks[comm.rank], plan, resilience=resilience
+            )
+        comm.barrier()
+        return (time.perf_counter_ns() - t0) / _OVERHEAD_BATCH
+
+    def body(comm):
+        t_blocking, t_resilient = [], []
+        for rep in range(reps):
+            order = (None, shared) if rep % 2 == 0 else (shared, None)
+            for mode in order:
+                dt = timed_batch(comm, mode)
+                (t_blocking if mode is None else t_resilient).append(dt)
+        return t_blocking, t_resilient
+
+    res = run_spmd(nranks, body, resilient=True)
+    per_blk = [max(res[r][0][i] for r in range(nranks)) for i in range(reps)]
+    per_res = [max(res[r][1][i] for r in range(nranks)) for i in range(reps)]
+    blocking_us = min(per_blk) / 1e3
+    resilient_us = min(per_res) / 1e3
+    # The headline overhead is the MEDIAN of per-rep paired ratios: the
+    # two batches of a rep run back to back, so their ratio is invariant
+    # to the slow load/frequency drift that makes independent mins
+    # noisy on a busy host.
+    ratios = sorted(rs / bl for bl, rs in zip(per_blk, per_res))
+    overhead = ratios[len(ratios) // 2] - 1.0
+    return {
+        "name": (
+            f"soi_fft_distributed N={plan.n} P={plan.p} {nranks} ranks, "
+            "resilience= vs blocking, fault-free"
+        ),
+        "blocking_us": blocking_us,
+        "resilient_us": resilient_us,
+        "overhead_fraction": overhead,
+        "meets_10pct_budget": bool(overhead <= 0.10),
+    }
+
+
+def _recovery_latency(plan: SoiPlan, nranks: int, iters: int) -> dict:
+    x = np.asarray(
+        np.random.default_rng(4242).standard_normal(plan.n)
+        + 1j * np.random.default_rng(4243).standard_normal(plan.n)
+    )
+    blocks = split_blocks(x, nranks)
+    ref = np.concatenate(
+        run_spmd(
+            nranks, lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan)
+        ).values
+    )
+
+    best_us = None
+    stats_snapshot = {}
+    for _ in range(iters):
+        res = SoiResilience()
+        t0 = time.perf_counter_ns()
+        out = run_spmd(
+            nranks,
+            lambda comm: soi_fft_distributed(
+                comm, blocks[comm.rank], plan, resilience=res
+            ),
+            resilient=True,
+            faults=FaultPlan().kill(1, phase="alltoall"),
+            timeout=_SOAK_WALL_GUARD,
+        )
+        dt = (time.perf_counter_ns() - t0) / 1e3
+        if not out.degraded or 1 not in res.recovered_blocks:
+            raise RuntimeError("recovery benchmark run did not recover rank 1")
+        parts = list(out.values)
+        parts[1] = res.recovered_blocks[1][1]
+        if not np.array_equal(np.concatenate(parts), ref):
+            raise RuntimeError("recovered spectrum diverged from fault-free run")
+        if best_us is None or dt < best_us:
+            best_us = dt
+            stats_snapshot = {
+                "recovery_bytes": int(out.stats.total_recovery_bytes),
+                "recovery_flops": int(out.stats.total_recovery_flops),
+                "detected_failures": int(out.stats.total_detected_failures),
+            }
+    return {
+        "name": (
+            f"kill rank 1 @ alltoall, N={plan.n} P={plan.p} {nranks} ranks; "
+            "end-to-end run latency including detection + ABFT recovery"
+        ),
+        "killed_run_us": best_us,
+        "bitwise_recovered": True,
+        **stats_snapshot,
+    }
+
+
+def _chaos_soak(plan: SoiPlan, scenarios: int) -> dict:
+    """Seeded (phase x victim x schedule x nranks) sweep under a wall guard."""
+    # The halo must fit in the per-rank block, so the 8-rank scenarios
+    # run the same geometry at doubled N (identical halo-to-block ratio).
+    plans = {4: plan, 8: SoiPlan(n=2 * plan.n, p=plan.p)}
+    signals = {
+        r: np.asarray(
+            np.random.default_rng(777 + r).standard_normal(p.n)
+            + 1j * np.random.default_rng(778 + r).standard_normal(p.n)
+        )
+        for r, p in plans.items()
+    }
+    refs: dict[int, np.ndarray] = {}
+    runs = []
+    survived = structured = 0
+    t_start = time.perf_counter()
+    for i in range(scenarios):
+        phase = SOAK_PHASES[i % len(SOAK_PHASES)]
+        nranks = (4, 8)[(i // len(SOAK_PHASES)) % 2]
+        victim = i % nranks
+        seed = 1000 + i
+        plan_r = plans[nranks]
+        tol = soi_tolerance(plan_r)
+        blocks = split_blocks(signals[nranks], nranks)
+        if nranks not in refs:
+            refs[nranks] = np.concatenate(
+                run_spmd(
+                    nranks,
+                    lambda comm: soi_fft_distributed(
+                        comm, blocks[comm.rank], plan_r
+                    ),
+                ).values
+            )
+        res = SoiResilience()
+        sched = ScheduleController(seed=seed)
+        t0 = time.perf_counter()
+        outcome: str
+        try:
+            out = run_spmd(
+                nranks,
+                lambda comm: soi_fft_distributed(
+                    comm, blocks[comm.rank], plan_r, resilience=res
+                ),
+                resilient=True,
+                faults=FaultPlan().kill(victim, phase=phase),
+                schedule=sched,
+                timeout=_SOAK_WALL_GUARD / 2,
+            )
+            parts = list(out.values)
+            parts[victim] = res.recovered_blocks[victim][1]
+            err = _rel_err(np.concatenate(parts), refs[nranks])
+            if err > tol:
+                raise RuntimeError(f"recovered error {err} above tolerance {tol}")
+            outcome = "recovered"
+            survived += 1
+        except SpmdError as exc:
+            # Only the designed-unrecoverable boundary may fail, and it
+            # must fail *structurally* — RankFailedError, never a hang.
+            if phase != "replicate" or not any(
+                isinstance(e, RankFailedError) for _, e in exc.failures
+            ):
+                raise
+            outcome = "structured-failure"
+            structured += 1
+        wall = time.perf_counter() - t0
+        if wall > _SOAK_WALL_GUARD:
+            raise RuntimeError(
+                f"soak scenario {i} exceeded wall guard: {wall:.1f}s"
+            )
+        runs.append(
+            {
+                "phase": phase,
+                "victim": victim,
+                "nranks": nranks,
+                "seed": seed,
+                "outcome": outcome,
+                "wall_s": wall,
+            }
+        )
+    return {
+        "scenarios": scenarios,
+        "recovered": survived,
+        "structured_failures": structured,
+        "hangs": 0,
+        "wall_guard_s": _SOAK_WALL_GUARD,
+        "tolerance": {str(r): soi_tolerance(p) for r, p in plans.items()},
+        "total_wall_s": time.perf_counter() - t_start,
+        "runs": runs,
+    }
+
+
+def run_resilience_bench(quick: bool = False, reps: int | None = None) -> dict:
+    """Run the resilience benchmark; returns the ``BENCH_PR6.json`` payload.
+
+    ``quick=True`` shrinks rep counts and the soak to CI-smoke scale
+    while keeping the schema and the acceptance geometry (N=4096, P=8,
+    4-8 ranks) identical.
+    """
+    iters = reps if reps is not None else (7 if quick else 25)
+    scenarios = 12 if quick else 26
+    plan = SoiPlan(n=4096, p=8)
+    # Overhead headline at the bench-micro distributed-case geometry
+    # (N=2^14, P=8, 4 ranks) where the commit round's fixed cost is
+    # amortised over real per-rank work; quick mode stays small.
+    overhead_plan = plan if quick else SoiPlan(n=1 << 14, p=8)
+    return {
+        "schema": RESILIENCE_BENCH_SCHEMA,
+        "generated_by": "python -m repro bench-resilience",
+        "config": {
+            "quick": quick,
+            "iters": iters,
+            "n": plan.n,
+            "p": plan.p,
+            "overhead_n": overhead_plan.n,
+            "soak_scenarios": scenarios,
+            "overhead_batch": _OVERHEAD_BATCH,
+            "timer": (
+                "time.perf_counter_ns; overhead: barrier-bracketed batches "
+                f"of {_OVERHEAD_BATCH} back-to-back transforms (steady-state "
+                "per-transform cost), max across ranks per batch, min over "
+                "batches; recovery: end-to-end run latency, min over runs"
+            ),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "fault_free_overhead": _fault_free_overhead(overhead_plan, 4, iters),
+        "recovery": _recovery_latency(plan, 4, max(3, iters // 2)),
+        "chaos_soak": _chaos_soak(plan, scenarios),
+    }

@@ -52,8 +52,10 @@ from ..dft import fft as dft_fft
 from ..dft import ifft as dft_ifft
 from ..nufft import nudft1, nudft2, nufft1, nufft2, NufftPlan
 from ..parallel.distribution import split_blocks
+from ..parallel.resilience import SoiResilience
 from ..parallel.soi_dist import soi_fft_distributed, soi_ifft_distributed
 from ..parallel.transpose import transpose_fft_distributed
+from ..simmpi.faults import FaultPlan
 from ..simmpi.runtime import run_spmd
 from ..trace import TraceRecorder
 
@@ -544,6 +546,75 @@ def _dist_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
     )
 
 
+def _resilience_rows(report: ConformanceReport, n: int) -> None:
+    """The survivable path's contract rows (PR 6).
+
+    Fault-free, ``resilience=`` must be bit-transparent (the replica's
+    prefix IS the halo, so the FP schedule is unchanged).  After a
+    single injected kill, the survivors' blocks must stay bitwise equal
+    to the fault-free run, the buddy's reconstructed block must be
+    bitwise the casualty's fault-free block (same FP schedule replayed),
+    and the assembled full spectrum must still meet the same Theorem-2
+    oracle bound as the fault-free transform.
+    """
+    plan = SoiPlan(n=n, p=_DIST_P)
+    x = _signal(f"dist.soi[{n}]", n)  # same signal family as _dist_rows
+    blocks = split_blocks(x, _DIST_RANKS)
+
+    baseline = np.concatenate(
+        run_spmd(
+            _DIST_RANKS,
+            lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan),
+        ).values
+    )
+
+    def resilient(faults=None):
+        res = SoiResilience()
+        out = run_spmd(
+            _DIST_RANKS,
+            lambda comm: soi_fft_distributed(
+                comm, blocks[comm.rank], plan, resilience=res
+            ),
+            resilient=True,
+            faults=faults,
+            timeout=60.0,
+        )
+        return out, res
+
+    _bitwise_row(
+        report, f"soi_fft_distributed[resilience=,fault-free][n={n}]",
+        "resilience", n,
+        lambda: (np.concatenate(resilient()[0].values), baseline),
+        detail="ABFT replication/checksums are bit-transparent fault-free",
+    )
+
+    def recovered(kill_phase: str):
+        out, res = resilient(FaultPlan().kill(1, phase=kill_phase))
+        if not out.degraded or [f[0] for f in out.failures] != [1]:
+            raise RuntimeError(f"expected rank 1 casualty, got {out.failures!r}")
+        if 1 not in res.recovered_blocks:
+            raise RuntimeError("buddy published no recovered block")
+        parts = list(out.values)
+        parts[1] = res.recovered_blocks[1][1]
+        return np.concatenate(parts)
+
+    for kill_phase in ("fft-p", "alltoall"):
+        _bitwise_row(
+            report,
+            f"soi_fft_distributed[resilience=,kill@{kill_phase}][n={n}]",
+            "resilience", n,
+            lambda kill_phase=kill_phase: (recovered(kill_phase), baseline),
+            detail="survivors + reconstructed block == fault-free run",
+        )
+    _oracle_row(
+        report,
+        f"soi_fft_distributed[resilience=,kill@alltoall,oracle][n={n}]",
+        "resilience", n, soi_tolerance(plan),
+        lambda: (recovered("alltoall"), np.fft.fft(x)),
+        detail="recovered spectrum meets the fault-free Theorem-2 bound",
+    )
+
+
 def run_conformance(size: str = "default", *, edge_backend: str = "numpy") -> ConformanceReport:
     """Execute the full registry and return the report.
 
@@ -562,4 +633,5 @@ def run_conformance(size: str = "default", *, edge_backend: str = "numpy") -> Co
     _soi_seq_rows(report, cfg["soi_n"])
     _edge_rows(report, edge_backend)
     _dist_rows(report, cfg["dist_n"], cfg["transpose_n"])
+    _resilience_rows(report, cfg["dist_n"])
     return report

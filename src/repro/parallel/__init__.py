@@ -17,6 +17,7 @@ from .distribution import (
     scatter_blocks,
     split_blocks,
 )
+from .resilience import SoiResilience
 from .selfcheck import parseval_check, verified_alltoall, verified_sendrecv
 from .soi_dist import (
     soi_fft_distributed,
@@ -36,6 +37,7 @@ __all__ = [
     "parseval_check",
     "verified_alltoall",
     "verified_sendrecv",
+    "SoiResilience",
     "soi_fft_distributed",
     "soi_ifft_distributed",
     "soi_rank_layout",

@@ -36,6 +36,7 @@ from ..dft.flops import fft_flops, soi_convolution_flops
 from ..simmpi.comm import Communicator, waitall, waitany
 from ..trace.spans import TraceRecorder
 from ..utils import require
+from .resilience import SoiResilience, _soi_fft_resilient
 from .selfcheck import (
     DEFAULT_VERIFY_ROUNDS,
     confirm_alltoall_slices,
@@ -46,6 +47,7 @@ from .selfcheck import (
 )
 
 __all__ = [
+    "SoiResilience",
     "soi_fft_distributed",
     "soi_ifft_distributed",
     "soi_overlap_spans",
@@ -138,6 +140,7 @@ def soi_fft_distributed(
     trace: TraceRecorder | None = None,
     overlap: bool = False,
     overlap_groups: int = 2,
+    resilience: SoiResilience | None = None,
 ) -> np.ndarray:
     """SPMD SOI FFT: each rank passes its block, receives its output block.
 
@@ -172,6 +175,14 @@ def soi_fft_distributed(
     flop counts, communication spans the exchanged bytes.  Tracing is
     bit-transparent — output and traffic statistics are identical with
     and without it.
+
+    With ``resilience=`` (a shared :class:`SoiResilience`, one instance
+    passed by every rank; requires ``resilient=True`` on ``run_spmd``)
+    the transform survives a single rank death via checksummed ABFT
+    recovery — see :mod:`repro.parallel.resilience`.  Fault-free output
+    is bit-identical to the blocking path; the extra traffic is the
+    input replication ring plus one checksum column per all-to-all
+    block.  Mutually exclusive with ``overlap=`` and ``verify=``.
     """
     be = get_backend(backend)
     if trace is not None:
@@ -184,6 +195,11 @@ def soi_fft_distributed(
         vec.shape == (block,),
         f"rank {comm.rank}: expected local block of {block} samples, got {vec.shape}",
     )
+    if resilience is not None:
+        require(not overlap, "resilience= and overlap= are mutually exclusive")
+        require(not verify, "resilience= and verify= are mutually exclusive")
+        if comm.size > 1:
+            return _soi_fft_resilient(comm, vec, plan, be, layout, resilience)
     if overlap and comm.size > 1:
         return _soi_fft_pipelined(
             comm, vec, plan, be, layout, verify, verify_rounds, overlap_groups
@@ -421,6 +437,7 @@ def soi_ifft_distributed(
     trace: TraceRecorder | None = None,
     overlap: bool = False,
     overlap_groups: int = 2,
+    resilience: SoiResilience | None = None,
 ) -> np.ndarray:
     """Distributed inverse SOI transform (approximates ``ifft``).
 
@@ -431,14 +448,20 @@ def soi_ifft_distributed(
     contraction path, reciprocal demodulation).  The output conjugation
     and 1/N scale run in place on the forward result — no extra
     temporaries.  Collective; block layout identical to
-    :func:`soi_fft_distributed`.
+    :func:`soi_fft_distributed`.  With ``resilience=``, a recovered
+    casualty block held by its buddy is conjugated and scaled in place
+    too, so :attr:`SoiResilience.recovered_blocks` holds *inverse*
+    blocks after this call.
     """
     vec = np.ascontiguousarray(y_local, dtype=np.complex128)
     forward = soi_fft_distributed(
         comm, np.conj(vec), plan, backend=backend,
         verify=verify, verify_rounds=verify_rounds, trace=trace,
         overlap=overlap, overlap_groups=overlap_groups,
+        resilience=resilience,
     )
     np.conjugate(forward, out=forward)
     forward /= plan.n
+    if resilience is not None:
+        resilience.finalize_inverse(plan, comm.rank)
     return forward

@@ -27,18 +27,22 @@ from .comm import (
     RecvRequest,
     Request,
     SendRequest,
+    ShrunkCommunicator,
     TransportPolicy,
     World,
     waitall,
     waitany,
 )
 from .errors import (
+    CollectiveTimeoutError,
     CorruptMessageError,
     DeadlockError,
     InjectedFault,
+    RankFailedError,
     RankFailure,
     RetryExhaustedError,
     SimMpiError,
+    SpmdError,
     VerificationError,
 )
 from .faults import FAULT_KINDS, ChaosSchedule, FaultPlan, FaultSpec
@@ -47,6 +51,7 @@ from .stats import PhaseTraffic, TrafficStats
 
 __all__ = [
     "Communicator",
+    "ShrunkCommunicator",
     "World",
     "TransportPolicy",
     "Request",
@@ -54,12 +59,15 @@ __all__ = [
     "RecvRequest",
     "waitall",
     "waitany",
+    "CollectiveTimeoutError",
     "CorruptMessageError",
     "DeadlockError",
     "InjectedFault",
+    "RankFailedError",
     "RankFailure",
     "RetryExhaustedError",
     "SimMpiError",
+    "SpmdError",
     "VerificationError",
     "FAULT_KINDS",
     "ChaosSchedule",

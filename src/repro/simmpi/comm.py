@@ -70,9 +70,11 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from .errors import (
+    CollectiveTimeoutError,
     CorruptMessageError,
     DeadlockError,
     InjectedFault,
+    RankFailedError,
     RetryExhaustedError,
     SimMpiError,
 )
@@ -82,6 +84,7 @@ from .stats import TrafficStats
 __all__ = [
     "World",
     "Communicator",
+    "ShrunkCommunicator",
     "TransportPolicy",
     "Request",
     "SendRequest",
@@ -254,6 +257,7 @@ class World:
         transport: TransportPolicy | None = None,
         link_latency_s: float = 0.0,
         link_bandwidth: float | None = None,
+        resilient: bool = False,
     ) -> None:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -262,6 +266,11 @@ class World:
         self.stats = TrafficStats()
         self.faults = faults
         self.transport = transport
+        # Resilient mode (mini ULFM): a dying rank is *marked* failed and
+        # survivors keep running — blocked operations naming the dead peer
+        # raise RankFailedError instead of the whole world aborting.
+        self.resilient = resilient
+        self._failed: dict[int, BaseException] = {}  # guarded by _cv
         self._cv = threading.Condition()
         self._channels: dict[tuple, deque] = {}
         self._pending_delays: dict[tuple, list] = {}
@@ -357,11 +366,15 @@ class World:
         t.daemon = True
         t.start()
 
-    def _get(self, key: tuple, deadline: float) -> Any:
+    def _get(self, key: tuple, deadline: float, fail_dead: bool = True) -> Any:
         """Pop the next item, waiting until *deadline* (monotonic seconds).
 
         Returns the module-level ``_TIMEOUT`` sentinel when the deadline
-        passes; raises if the world aborted while waiting.
+        passes; raises if the world aborted while waiting, or — when
+        *fail_dead* — if the source rank is marked dead and the channel
+        is quiet (nothing more can ever arrive).  Nonblocking polls pass
+        ``fail_dead=False`` so progress-engine sweeps over unrelated
+        channels never raise another peer's death at the wrong call site.
         """
         with self._cv:
             while True:
@@ -376,6 +389,16 @@ class World:
                     return item
                 if self.scheduler is not None and self.scheduler.on_wait(self, key):
                     continue  # the controller released a held message for us
+                if (
+                    fail_dead
+                    and self._failed
+                    and key[0] in self._failed
+                    and key[0] != key[1]
+                    and self._quiet_locked(key)
+                ):
+                    raise RankFailedError(
+                        (key[0],), where=f"recv into rank {key[1]} (tag={key[2]})"
+                    )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return _TIMEOUT
@@ -440,6 +463,73 @@ class World:
     def check_abort(self) -> None:
         if self.abort_event.is_set():
             raise SimMpiError("aborted: another rank failed")
+
+    # ---- failure detection (mini ULFM) -----------------------------------
+
+    def mark_failed(self, rank: int, exc: BaseException) -> None:
+        """Record *rank* as dead and wake every blocked waiter.
+
+        In resilient mode the survivors keep running: blocked operations
+        whose completion requires the dead rank observe the death (after
+        its in-flight messages drain) and raise :class:`RankFailedError`.
+        Otherwise this degrades to the historical whole-world abort.
+        The world barrier is broken permanently either way — a full-world
+        barrier can never complete once a member is dead; survivors use
+        :meth:`Communicator.shrink` for post-failure synchronisation.
+        """
+        if not self.resilient:
+            # Set the abort flag BEFORE marking the rank dead: waiters
+            # check abort first, so survivors keep unwinding with the
+            # historical secondary SimMpiError, never a racy
+            # RankFailedError that could win root-cause selection.
+            self.abort_event.set()
+        with self._cv:
+            self._failed.setdefault(int(rank), exc)
+            self._activity += 1
+            self._cv.notify_all()
+        self._barrier.abort()
+
+    def failed_ranks(self) -> tuple[int, ...]:
+        """The agreed set of dead ranks, ascending (ULFM's failure set)."""
+        with self._cv:
+            return tuple(sorted(self._failed))
+
+    def is_failed(self, rank: int) -> bool:
+        with self._cv:
+            return rank in self._failed
+
+    def alive_ranks(self) -> tuple[int, ...]:
+        with self._cv:
+            return tuple(r for r in range(self.nranks) if r not in self._failed)
+
+    def failure_cause(self, rank: int) -> BaseException | None:
+        with self._cv:
+            return self._failed.get(rank)
+
+    def _quiet_locked(self, key: tuple) -> bool:
+        """Whether channel *key* can never produce another message.
+
+        Caller holds ``_cv``.  True only when the channel is empty AND
+        nothing is delay-scheduled, scheduler-held, pump-pending or
+        retransmittable on it — the deterministic half of dead-peer
+        declaration: a waiter declares its source dead only after every
+        message the source physically transmitted has been drained, so
+        the delivered-message set is interleaving-independent.
+        """
+        if self._channels.get(key):
+            return False
+        if self._pending_delays.get(key):
+            return False
+        if self.scheduler is not None and self.scheduler.held_items(key):
+            return False
+        src, dst, tag = key
+        with self._state_lock:
+            for s, d, t, _seq in self._unacked:
+                if s == src and d == dst and t == tag:
+                    return False  # the reliable transport can still redeliver
+        if self._pump is not None and self._pump.pending_items(key):
+            return False
+        return True
 
     # ---- wire layer (fault injection lives here) -------------------------
 
@@ -608,6 +698,10 @@ class Request:
     def _poll(self) -> tuple[bool, Any]:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _dead_peers(self) -> tuple[int, ...]:
+        """Dead ranks that make this request permanently uncompletable."""
+        return ()
+
     def test(self) -> tuple[bool, Any]:
         """Nonblocking completion check: ``(done, value)``."""
         if self._done:
@@ -638,6 +732,9 @@ class Request:
             if ok:
                 self._claim(val)
                 return self._value
+            dead = self._dead_peers()
+            if dead:
+                raise RankFailedError(dead, where=f"wait on {self!r}")
             with world._cv:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -676,8 +773,14 @@ class SendRequest(Request):
         world = self._world
         if self._seq is not None:
             src, dst, tag = self._key
-            return (not world.has_unacked(src, dst, tag, self._seq)), None
-        return (world.consumed_count(self._key) > (self._ordinal or 0)), None
+            if not world.has_unacked(src, dst, tag, self._seq):
+                return True, None
+        elif world.consumed_count(self._key) > (self._ordinal or 0):
+            return True, None
+        # A send to a dead rank completes by fiat (the buffer is free:
+        # nobody will ever consume or ack it) so survivors can retire
+        # handles targeting the casualty instead of blocking forever.
+        return world.is_failed(self._key[1]), None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         src, dst, tag = self._key
@@ -736,6 +839,19 @@ class RecvRequest(Request):
                 self._comm._drain_pending(self._key)
         return self._fulfilled, self._rvalue
 
+    def _dead_peers(self) -> tuple[int, ...]:
+        if self._fulfilled or self._done:
+            return ()
+        world = self._world
+        with world._cv:
+            if (
+                world._failed
+                and self._source in world._failed
+                and world._quiet_locked(self._key)
+            ):
+                return (self._source,)
+        return ()
+
     def wait(self, timeout: float | None = None) -> Any:
         if self._done:
             return self._value
@@ -751,7 +867,7 @@ class RecvRequest(Request):
                 break
             with world._cv:
                 head = world._pending_recvs[self._key][0]
-            payload = self._comm._recv_reliable(self._source, self._tag)
+            payload = self._comm._recv_reliable(self._source, self._tag, timeout=timeout)
             with world._cv:
                 world._pending_recvs[self._key].popleft()
             head._finish(payload)
@@ -807,13 +923,33 @@ class _CollectiveRequest:
         self._done = True
         return True, self._out
 
+    def _dead_peers(self) -> tuple[int, ...]:
+        dead: set[int] = set()
+        for rs in self._recvs.values():
+            for r in rs:
+                dead.update(r._dead_peers())
+        return tuple(sorted(dead))
+
     def wait(self, timeout: float | None = None) -> list:
         if self._done:
             return self._out
-        for src, rs in self._recvs.items():
-            self._assemble(src, [r.wait(timeout=timeout) for r in rs])
-        for s in self._sends:
-            s.wait(timeout=timeout)
+        try:
+            for src, rs in self._recvs.items():
+                self._assemble(src, [r.wait(timeout=timeout) for r in rs])
+            for s in self._sends:
+                s.wait(timeout=timeout)
+        except CollectiveTimeoutError:
+            raise
+        except DeadlockError as exc:
+            if timeout is not None:
+                # An explicitly bounded collective wait expired with no
+                # attributed failure: surface the structured timeout.
+                raise CollectiveTimeoutError(
+                    f"rank {self._comm.rank}: nonblocking collective",
+                    timeout,
+                    waiting_on=str(exc),
+                ) from exc
+            raise
         self._done = True
         return self._out
 
@@ -851,6 +987,12 @@ def waitany(
             ok, val = r.test()
             if ok:
                 return i, val
+        dead: set[int] = set()
+        for _, r in live:
+            if not r.completed:
+                dead.update(r._dead_peers())
+        if dead:
+            raise RankFailedError(sorted(dead), where="waitany")
         with world._cv:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -965,23 +1107,30 @@ class Communicator:
         world.register_unacked(self.rank, dest, tag, env)
         world.wire_send(self._phase, self.rank, dest, tag, env, index=seq)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive from rank *source* (timeout -> DeadlockError)."""
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        """Blocking receive from rank *source*.
+
+        ``timeout`` bounds this one receive (default: the world timeout).
+        Expiry raises :class:`DeadlockError`; a *source* known dead with
+        its channel drained raises :class:`RankFailedError` immediately —
+        deterministically, regardless of the timeout budget.
+        """
         self._check_peer(source, "source")
+        budget = self.world.timeout if timeout is None else timeout
         if self.world._pending_recvs.get((source, self.rank, tag)):
             # Posted irecvs on this channel queue ahead of us (MPI's
             # nonovertaking rule): join the FIFO instead of stealing.
-            return self.irecv(source, tag).wait()
+            return self.irecv(source, tag).wait(timeout=budget)
         if self.world.transport is not None:
-            payload = self._recv_reliable(source, tag)
+            payload = self._recv_reliable(source, tag, timeout=budget)
             return self._trace_recv(source, tag, payload)
         key = (source, self.rank, tag)
-        deadline = time.monotonic() + self.world.timeout
+        deadline = time.monotonic() + budget
         item = self.world._get(key, deadline)
         if item is _TIMEOUT:
             raise DeadlockError(
                 f"rank {self.rank} timed out receiving from {source} "
-                f"(tag={tag}) after {self.world.timeout}s"
+                f"(tag={tag}) after {budget}s"
             )
         return self._trace_recv(source, tag, item)
 
@@ -995,7 +1144,9 @@ class Communicator:
             )
         return payload
 
-    def _recv_reliable(self, source: int, tag: int) -> Any:
+    def _recv_reliable(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> Any:
         """Receive the next in-sequence payload, recovering wire faults."""
         world = self.world
         policy = world.transport
@@ -1003,7 +1154,8 @@ class Communicator:
         st = world.recv_state(source, self.rank, tag)
         attempts = 0
         patience = policy.retry_timeout
-        deadline = time.monotonic() + world.timeout
+        budget = world.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
 
         def bump_attempts() -> None:
             nonlocal attempts, patience
@@ -1024,7 +1176,7 @@ class Communicator:
                     if time.monotonic() >= deadline:
                         raise DeadlockError(
                             f"rank {self.rank} timed out receiving from {source} "
-                            f"(tag={tag}) after {world.timeout}s"
+                            f"(tag={tag}) after {budget}s"
                         )
                     if world._in_flight(key, expected):
                         continue  # queued or delayed: patience, not loss
@@ -1213,7 +1365,7 @@ class Communicator:
             expected = st["expected"]
             env = st["stash"].pop(expected, None)
             if env is None:
-                got = world._get(key, 0.0)  # deadline in the past: poll
+                got = world._get(key, 0.0, fail_dead=False)  # poll only
                 if got is _TIMEOUT:
                     return False, None
                 if not isinstance(got, _Envelope):
@@ -1323,8 +1475,15 @@ class Communicator:
 
     # ---- collectives -------------------------------------------------------
 
-    def barrier(self) -> None:
-        """Synchronise all ranks."""
+    def barrier(self, timeout: float | None = None) -> None:
+        """Synchronise all ranks.
+
+        With a rank dead the full-world barrier can never complete:
+        survivors get :class:`RankFailedError` naming the failed set
+        (use :meth:`shrink` to synchronise the survivors).  An explicit
+        ``timeout`` expiring with nobody dead raises the structured
+        :class:`CollectiveTimeoutError`.
+        """
         self.world.check_abort()
         scheduler = self.world.scheduler
         if scheduler is not None:
@@ -1332,10 +1491,18 @@ class Communicator:
         tracer = self.world.tracer
         if tracer is not None:
             tracer.record_barrier(self._phase, self.rank)
+        budget = self.world.timeout if timeout is None else timeout
         try:
-            self.world._barrier.wait(timeout=self.world.timeout)
+            self.world._barrier.wait(timeout=budget)
         except threading.BrokenBarrierError:
             self.world.check_abort()
+            failed = self.world.failed_ranks()
+            if failed:
+                raise RankFailedError(failed, where="barrier") from None
+            if timeout is not None:
+                raise CollectiveTimeoutError(
+                    f"rank {self.rank}: barrier", timeout
+                ) from None
             raise DeadlockError(f"rank {self.rank}: barrier broken/timed out") from None
         if scheduler is not None:
             scheduler.on_barrier_exit(self.world, self.rank)
@@ -1391,12 +1558,17 @@ class Communicator:
                 return objs[root]
             return self.recv(root, tag=-4)
 
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+    def alltoall(
+        self, objs: Sequence[Any], timeout: float | None = None
+    ) -> list[Any]:
         """Personalised all-to-all: send ``objs[d]`` to rank d, get one each.
 
         This is THE global transpose primitive of both FFT algorithms
         (Fig. 3: local permutation followed by the MPI all-to-all).
         Counted as one all-to-all round in the traffic statistics.
+        A dead peer raises :class:`RankFailedError` naming it; an
+        explicit per-member ``timeout`` expiring with nobody dead raises
+        :class:`CollectiveTimeoutError`.
         """
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs exactly {self.size} send items")
@@ -1414,13 +1586,37 @@ class Communicator:
             out[self.rank] = objs[self.rank]
             for src in range(self.size):
                 if src != self.rank:
-                    out[src] = self.recv(src, tag=-5)
+                    out[src] = self._collective_recv(
+                        src, tag=-5, timeout=timeout, what="alltoall"
+                    )
             return out
+
+    def _collective_recv(
+        self, src: int, tag: int, timeout: float | None, what: str
+    ) -> Any:
+        """One member receive of a blocking collective (timeout mapping).
+
+        An explicitly bounded collective whose member receive times out
+        with no attributed failure surfaces the structured
+        :class:`CollectiveTimeoutError`; dead peers keep raising
+        :class:`RankFailedError` from the receive itself.
+        """
+        try:
+            return self.recv(src, tag=tag, timeout=timeout)
+        except (CollectiveTimeoutError, RankFailedError):
+            raise
+        except DeadlockError as exc:
+            if timeout is not None:
+                raise CollectiveTimeoutError(
+                    f"rank {self.rank}: {what}", timeout, waiting_on=f"rank {src}"
+                ) from exc
+            raise
 
     def alltoallv(
         self,
         objs: Sequence[Any],
         sources: Sequence[int] | None = None,
+        timeout: float | None = None,
     ) -> list[Any]:
         """Variable-count personalised all-to-all (MPI's ``alltoallv``).
 
@@ -1456,7 +1652,9 @@ class Communicator:
                 out[self.rank] = objs[self.rank]
             for src in src_list:
                 if src != self.rank:
-                    out[src] = self.recv(src, tag=-6)
+                    out[src] = self._collective_recv(
+                        src, tag=-6, timeout=timeout, what="alltoallv"
+                    )
             return out
 
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
@@ -1475,5 +1673,240 @@ class Communicator:
         result = self.reduce(obj, op=op, root=0)
         return self.bcast(result, root=0)
 
+    # ---- failure recovery (mini ULFM) ------------------------------------
+
+    def shrink(self, epoch: int = 0) -> "ShrunkCommunicator":
+        """A communicator over the surviving ranks (ULFM's ``MPI_Comm_shrink``).
+
+        Membership is the world's current failed set; *epoch* separates
+        successive shrink generations (protocol retry rounds) by shifting
+        the collective tags, so traffic from an abandoned earlier round
+        can never be mistaken for the current one.
+        """
+        failed = set(self.world.failed_ranks())
+        members = [r for r in range(self.world.nranks) if r not in failed]
+        return ShrunkCommunicator(self.world, self.rank, members, epoch=epoch)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Communicator(rank={self.rank}/{self.size})"
+
+
+class ShrunkCommunicator(Communicator):
+    """Communicator over the surviving ranks (:meth:`Communicator.shrink`).
+
+    Ranks keep their WORLD numbering for point-to-point traffic (so
+    recovery code can address peers by the ranks it already knows), but
+    ``size`` and the collectives span only ``members``.  Collective
+    *lists* (gather/allgather/scatter/alltoall results and arguments)
+    are indexed in member order — position ``i`` belongs to world rank
+    ``members[i]`` — exactly as if the survivors had been renumbered.
+
+    The world barrier counts dead ranks and is permanently broken after
+    a failure, so :meth:`barrier` here is message-based over the
+    members.  Collective tags live in a distinct band (``-1000`` and
+    below, strided by *epoch*) so messages of an abandoned
+    full-communicator collective — e.g. an ``allgather`` a peer sent
+    into before dying — can never be consumed by a shrunk collective.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        rank: int,
+        members: Sequence[int],
+        epoch: int = 0,
+    ) -> None:
+        super().__init__(world, rank)
+        self.members = tuple(sorted(int(m) for m in members))
+        if rank not in self.members:
+            raise ValueError(
+                f"rank {rank} is not a member of the shrunk communicator"
+            )
+        self.epoch = int(epoch)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def _ctag(self, base: int) -> int:
+        return -1000 + base - 50 * self.epoch
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        # Point-to-point keeps world numbering: range-check the world.
+        if not 0 <= peer < self.world.nranks:
+            raise ValueError(
+                f"{what} rank {peer} out of range [0, {self.world.nranks})"
+            )
+
+    def _check_member(self, peer: int, what: str) -> None:
+        if peer not in self.members:
+            raise ValueError(f"{what} rank {peer} is not a surviving member")
+
+    def _root(self, root: int | None) -> int:
+        return self.members[0] if root is None else root
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Message-based member barrier (the world barrier is broken)."""
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_barrier(self._phase, self.rank)
+        root = self.members[0]
+        tag = self._ctag(-9)
+        if self.rank == root:
+            for m in self.members[1:]:
+                self.recv(m, tag=tag, timeout=timeout)
+            for m in self.members[1:]:
+                self.send(0, m, tag=tag)
+        else:
+            self.send(0, root, tag=tag)
+            self.recv(root, tag=tag, timeout=timeout)
+
+    def bcast(self, obj: Any, root: int | None = None) -> Any:
+        root = self._root(root)
+        self._check_member(root, "root")
+        with self._traced_collective("bcast"):
+            tag = self._ctag(-1)
+            if self.rank == root:
+                for m in self.members:
+                    if m != root:
+                        self.send(obj, m, tag=tag)
+                return obj
+            return self.recv(root, tag=tag)
+
+    def gather(self, obj: Any, root: int | None = None) -> list[Any] | None:
+        root = self._root(root)
+        self._check_member(root, "root")
+        with self._traced_collective("gather"):
+            tag = self._ctag(-2)
+            if self.rank == root:
+                return [
+                    obj if m == self.rank else self.recv(m, tag=tag)
+                    for m in self.members
+                ]
+            self.send(obj, root, tag=tag)
+            return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        with self._traced_collective("allgather"):
+            tag = self._ctag(-3)
+            for m in self.members:
+                if m != self.rank:
+                    self.send(obj, m, tag=tag)
+            return [
+                obj if m == self.rank else self.recv(m, tag=tag)
+                for m in self.members
+            ]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int | None = None) -> Any:
+        root = self._root(root)
+        self._check_member(root, "root")
+        with self._traced_collective("scatter"):
+            tag = self._ctag(-4)
+            if self.rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise ValueError(
+                        f"scatter needs exactly {self.size} items at root"
+                    )
+                for i, m in enumerate(self.members):
+                    if m != root:
+                        self.send(objs[i], m, tag=tag)
+                return objs[self.members.index(root)]
+            return self.recv(root, tag=tag)
+
+    def alltoall(
+        self, objs: Sequence[Any], timeout: float | None = None
+    ) -> list[Any]:
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} send items")
+        if self.rank == self.members[0]:
+            self.stats.record_alltoall(self._phase)
+        with self._traced_collective("alltoall"):
+            tag = self._ctag(-5)
+            me = self.members.index(self.rank)
+            for i, m in enumerate(self.members):
+                if m != self.rank:
+                    self.send(objs[i], m, tag=tag)
+            out: list[Any] = [None] * self.size
+            self.stats.record_message(
+                self._phase, self.rank, self.rank, _payload_bytes(objs[me])
+            )
+            out[me] = objs[me]
+            for i, m in enumerate(self.members):
+                if m != self.rank:
+                    out[i] = self._collective_recv(
+                        m, tag=tag, timeout=timeout, what="alltoall(shrunk)"
+                    )
+            return out
+
+    def alltoallv(
+        self,
+        objs: Sequence[Any],
+        sources: Sequence[int] | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        if len(objs) != self.size:
+            raise ValueError(f"alltoallv needs exactly {self.size} send items")
+        if self.rank == self.members[0]:
+            self.stats.record_alltoall(self._phase)
+        src_list = list(self.members) if sources is None else list(sources)
+        for src in src_list:
+            self._check_member(src, "source")
+        with self._traced_collective("alltoallv"):
+            tag = self._ctag(-6)
+            me = self.members.index(self.rank)
+            for i, m in enumerate(self.members):
+                if m != self.rank and objs[i] is not None:
+                    self.send(objs[i], m, tag=tag)
+            out: list[Any] = [None] * self.size
+            if objs[me] is not None:
+                self.stats.record_message(
+                    self._phase, self.rank, self.rank, _payload_bytes(objs[me])
+                )
+                out[me] = objs[me]
+            for src in src_list:
+                if src != self.rank:
+                    out[self.members.index(src)] = self._collective_recv(
+                        src, tag=tag, timeout=timeout, what="alltoallv(shrunk)"
+                    )
+            return out
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] = None,
+        root: int | None = None,
+    ):
+        root = self._root(root)
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        combine = op if op is not None else (lambda a, b: a + b)
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = combine(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None):
+        result = self.reduce(obj, op=op)
+        return self.bcast(result)
+
+    def ialltoall(self, objs: Sequence[Any], chunks: int = 1):
+        raise NotImplementedError(
+            "shrunk communicators support blocking collectives only"
+        )
+
+    def ialltoallv(
+        self,
+        objs: Sequence[Any],
+        sources: Sequence[int] | None = None,
+        chunks: int = 1,
+    ):
+        raise NotImplementedError(
+            "shrunk communicators support blocking collectives only"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShrunkCommunicator(rank={self.rank}, members={self.members}, "
+            f"epoch={self.epoch})"
+        )

@@ -28,11 +28,12 @@ bounded plan converges.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .comm import Communicator, TransportPolicy, World
-from .errors import InjectedFault, RankFailure, SimMpiError
+from .errors import InjectedFault, RankFailedError, SimMpiError, SpmdError
 from .faults import FaultPlan
 from .stats import TrafficStats
 
@@ -53,11 +54,23 @@ def current_rank() -> int | None:
 
 @dataclass
 class SpmdResult:
-    """Return values of one SPMD run plus its traffic statistics."""
+    """Return values of one SPMD run plus its traffic statistics.
+
+    ``failures`` is non-empty only for ``resilient=True`` runs that
+    survived rank deaths: ``[(rank, exception), ...]`` in rank order,
+    with ``values[rank] is None`` for each casualty.  Fault-free runs
+    (and all non-resilient runs, which raise instead) leave it empty.
+    """
 
     values: list[Any]
     stats: TrafficStats
     restarts: int = 0  # world re-executions consumed recovering rank kills
+    failures: list[tuple[int, BaseException]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this result was produced despite rank failures."""
+        return bool(self.failures)
 
     def __iter__(self):
         return iter(self.values)
@@ -84,6 +97,7 @@ def run_spmd(
     link_bandwidth: float | None = None,
     max_restarts: int = 0,
     restartable: Callable[[BaseException], bool] | None = None,
+    resilient: bool = False,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on *nranks* ranks.
@@ -141,10 +155,23 @@ def run_spmd(
     restartable:
         Predicate over the root-cause exception deciding whether a
         failed attempt may be retried.
+    resilient:
+        ULFM-style survival mode.  A dying rank is *marked* failed
+        instead of aborting the world: survivors keep running, blocked
+        operations on the casualty raise
+        :class:`~repro.simmpi.errors.RankFailedError`, and
+        ``comm.shrink()`` yields a survivors-only communicator.  The run
+        returns a partial :class:`SpmdResult` (``failures`` lists the
+        casualties) as long as at least one rank completed; it raises
+        :class:`~repro.simmpi.errors.SpmdError` only when every rank
+        failed.
 
     Returns an :class:`SpmdResult` with ``values[rank]``, the shared
     :class:`TrafficStats` of the successful attempt, and the number of
-    restarts consumed.
+    restarts consumed.  A failed run raises
+    :class:`~repro.simmpi.errors.SpmdError` carrying *every* rank's
+    exception and formatted traceback (``failures``/``tracebacks``),
+    with ``rank``/``original`` still naming the selected root cause.
     """
     can_restart = restartable if restartable is not None else _default_restartable
     attempt = 0
@@ -157,7 +184,7 @@ def run_spmd(
             schedule.new_run()
         failure = _run_once(
             nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace,
-            schedule, link_latency, link_bandwidth,
+            schedule, link_latency, link_bandwidth, resilient,
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -181,7 +208,8 @@ def _run_once(
     schedule: Any | None = None,
     link_latency: float = 0.0,
     link_bandwidth: float | None = None,
-) -> SpmdResult | RankFailure:
+    resilient: bool = False,
+) -> SpmdResult | SpmdError:
     world = World(
         nranks,
         timeout=timeout,
@@ -189,6 +217,7 @@ def _run_once(
         transport=transport,
         link_latency_s=link_latency,
         link_bandwidth=link_bandwidth,
+        resilient=resilient,
     )
     world.fault_hook = fault_hook
     if trace is not None:
@@ -196,7 +225,9 @@ def _run_once(
     if schedule is not None:
         world.scheduler = schedule
     values: list[Any] = [None] * nranks
+    completed: list[bool] = [False] * nranks
     errors: list[tuple[int, BaseException]] = []
+    tracebacks: dict[int, str] = {}
     errors_lock = threading.Lock()
 
     def runner(rank: int) -> None:
@@ -204,10 +235,12 @@ def _run_once(
         comm = Communicator(world, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
+            completed[rank] = True
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             with errors_lock:
                 errors.append((rank, exc))
-            world.abort()
+                tracebacks[rank] = traceback.format_exc()
+            world.mark_failed(rank, exc)
 
     threads = [
         threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
@@ -226,13 +259,19 @@ def _run_once(
 
     if errors:
         errors.sort(key=lambda e: e[0])
+        if resilient and any(completed):
+            # Survival mode: at least one rank finished despite the
+            # casualties — hand back the partial result and the failure
+            # report; the caller decides whether degraded is acceptable.
+            return SpmdResult(values, world.stats, failures=list(errors))
 
         def is_secondary(exc: BaseException) -> bool:
-            # Plain SimMpiError ("aborted: ...") and deadlocks broken by
-            # the abort flag are consequences of some other rank's
-            # failure, not root causes.  Subclasses raised by user code
-            # or fault hooks (e.g. InjectedFault) ARE root causes.
-            return type(exc) is SimMpiError
+            # Plain SimMpiError ("aborted: ...") and RankFailedError
+            # (a peer's death observed by a survivor) are consequences
+            # of some other rank's failure, not root causes.  Other
+            # subclasses raised by user code or fault hooks (e.g.
+            # InjectedFault) ARE root causes.
+            return type(exc) is SimMpiError or isinstance(exc, RankFailedError)
 
         rank, original = errors[0]
         if is_secondary(original):
@@ -240,5 +279,5 @@ def _run_once(
                 if not is_secondary(e):
                     rank, original = r, e
                     break
-        return RankFailure(rank, original)
+        return SpmdError(rank, original, errors, tracebacks)
     return SpmdResult(values, world.stats)

@@ -48,6 +48,13 @@ class PhaseTraffic:
     corrupt_detected: int = 0
     acks: int = 0
     control_bytes: int = 0
+    # Resilience counters (populated only by the failure-detection and
+    # ABFT recovery layers): bytes re-sent or reconstructed after a rank
+    # death, flops spent recomputing the dead rank's work, and how many
+    # distinct rank failures this phase detected.
+    recovery_bytes: int = 0
+    recovery_flops: int = 0
+    detected_failures: int = 0
     # Nonblocking-request counters (populated only by isend/irecv use):
     # deepest outstanding-request queue any rank reached in this phase,
     # and how many post/claim transitions LANDED at each depth.  Both are
@@ -96,6 +103,9 @@ class PhaseTraffic:
             "corrupt_detected": self.corrupt_detected,
             "acks": self.acks,
             "control_bytes": self.control_bytes,
+            "recovery_bytes": self.recovery_bytes,
+            "recovery_flops": self.recovery_flops,
+            "detected_failures": self.detected_failures,
             "max_outstanding": self.max_outstanding,
             "time_at_depth": {
                 str(depth): int(count)
@@ -120,6 +130,9 @@ class PhaseTraffic:
             "corrupt_detected",
             "acks",
             "control_bytes",
+            "recovery_bytes",
+            "recovery_flops",
+            "detected_failures",
             "max_outstanding",
         ):
             setattr(ph, name, int(data.get(name, 0)))
@@ -183,6 +196,26 @@ class TrafficStats:
             ph = self._phases[phase]
             ph.acks += 1
             ph.control_bytes += int(nbytes)
+
+    # ---- resilience events (the cost of surviving a rank death) ----------
+
+    def record_recovery(self, phase: str, nbytes: int = 0, flops: int = 0) -> None:
+        """ABFT recovery work: bytes re-sent/reconstructed, flops recomputed.
+
+        Recovery *messages* also flow through the regular wire accounting
+        (they cost real bandwidth); these counters isolate the extra
+        traffic and compute attributable to surviving a failure, so
+        benchmarks can report recovery overhead separately.
+        """
+        with self._lock:
+            ph = self._phases[phase]
+            ph.recovery_bytes += int(nbytes)
+            ph.recovery_flops += int(flops)
+
+    def record_failure_detected(self, phase: str) -> None:
+        """One rank failure detected (attributed to the detecting phase)."""
+        with self._lock:
+            self._phases[phase].detected_failures += 1
 
     # ---- nonblocking-request depth (outstanding isend/irecv handles) -----
 
@@ -248,6 +281,21 @@ class TrafficStats:
         with self._lock:
             return sum(p.duplicates_discarded for p in self._phases.values())
 
+    @property
+    def total_recovery_bytes(self) -> int:
+        with self._lock:
+            return sum(p.recovery_bytes for p in self._phases.values())
+
+    @property
+    def total_recovery_flops(self) -> int:
+        with self._lock:
+            return sum(p.recovery_flops for p in self._phases.values())
+
+    @property
+    def total_detected_failures(self) -> int:
+        with self._lock:
+            return sum(p.detected_failures for p in self._phases.values())
+
     def as_dict(self) -> dict:
         """JSON-safe export of every phase (see :meth:`PhaseTraffic.as_dict`).
 
@@ -288,6 +336,12 @@ class TrafficStats:
                         f"({ph.retransmit_bytes:,} B), "
                         f"{ph.corrupt_detected} corrupt, "
                         f"{ph.duplicates_discarded} dup-discarded]"
+                    )
+                if ph.detected_failures or ph.recovery_bytes or ph.recovery_flops:
+                    line += (
+                        f" [{ph.detected_failures} failures detected, "
+                        f"recovery {ph.recovery_bytes:,} B / "
+                        f"{ph.recovery_flops:,} flops]"
                     )
                 lines.append(line)
         return "\n".join(lines)

@@ -54,7 +54,16 @@ __all__ = [
 ]
 
 #: Span kinds a virtual timeline can contain.
-SPAN_KINDS = ("compute", "send", "isend", "recv", "collective", "wait", "retransmit")
+SPAN_KINDS = (
+    "compute",
+    "send",
+    "isend",
+    "recv",
+    "collective",
+    "wait",
+    "retransmit",
+    "recovery",
+)
 
 
 @dataclass(frozen=True)
@@ -145,10 +154,17 @@ class Span:
 
 @dataclass
 class VirtualTimeline:
-    """The replayed run: every span of every rank, plus the cost model."""
+    """The replayed run: every span of every rank, plus the cost model.
+
+    ``degraded``/``failed_ranks`` describe ABFT survival runs: ranks
+    that died mid-run and whose work the survivors reconstructed (their
+    reconstruction appears as ``recovery`` spans).
+    """
 
     spans: list[Span]
     cost: TraceCostModel
+    degraded: bool = False
+    failed_ranks: tuple[int, ...] = ()
 
     @property
     def ranks(self) -> list[int]:
@@ -190,6 +206,7 @@ class TraceRecorder:
         self._events: dict[int, list[TraceEvent]] = defaultdict(list)
         self._send_counts: dict[tuple, int] = defaultdict(int)
         self._recv_counts: dict[tuple, int] = defaultdict(int)
+        self._failed_ranks: set[int] = set()
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -215,6 +232,7 @@ class TraceRecorder:
             self._events.clear()
             self._send_counts.clear()
             self._recv_counts.clear()
+            self._failed_ranks.clear()
 
     def clear(self) -> None:
         """Alias of :meth:`new_run` for standalone reuse."""
@@ -224,6 +242,18 @@ class TraceRecorder:
     def nevents(self) -> int:
         with self._lock:
             return sum(len(evs) for evs in self._events.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any rank failure was observed during recording."""
+        with self._lock:
+            return bool(self._failed_ranks)
+
+    @property
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Ranks reported dead via :meth:`record_failure`, sorted."""
+        with self._lock:
+            return tuple(sorted(self._failed_ranks))
 
     # ---- recording hooks (called by the communicator) --------------------
 
@@ -300,6 +330,38 @@ class TraceRecorder:
             )
         )
 
+    def record_failure(self, phase: str, rank: int, dead: int) -> None:
+        """Rank *rank* observed peer *dead* as failed during *phase*.
+
+        Marks the timeline degraded and drops a zero-length marker on
+        the observer's track so the detection point is visible.
+        """
+        with self._lock:
+            self._failed_ranks.add(int(dead))
+            self._events[rank].append(
+                TraceEvent(
+                    kind="failure", rank=rank, phase=phase,
+                    name=f"detected rank {dead} dead", peer=int(dead),
+                )
+            )
+
+    def record_recovery(
+        self,
+        phase: str,
+        rank: int,
+        name: str,
+        nbytes: int = 0,
+        flops: float = 0.0,
+    ) -> None:
+        """ABFT reconstruction work (recompute and/or block transfer)
+        executed by *rank* on behalf of a dead peer."""
+        self._append(
+            TraceEvent(
+                kind="recovery", rank=rank, phase=phase, name=name,
+                nbytes=int(nbytes), flops=float(flops),
+            )
+        )
+
     def record_collective_begin(self, phase: str, rank: int, name: str) -> None:
         self._append(TraceEvent(kind="cbegin", rank=rank, phase=phase, name=name))
 
@@ -321,7 +383,11 @@ class TraceRecorder:
         cost = cost if cost is not None else self.cost
         with self._lock:
             events = {r: list(evs) for r, evs in self._events.items() if evs}
-        return _replay(events, cost)
+            failed = tuple(sorted(self._failed_ranks))
+        tl = _replay(events, cost)
+        tl.degraded = bool(failed)
+        tl.failed_ranks = failed
+        return tl
 
 
 # ---- the virtual-clock replay engine -------------------------------------
@@ -408,6 +474,23 @@ def _replay(events: dict[int, list[TraceEvent]], cost: TraceCostModel) -> Virtua
                     rank, "retransmit", ev.name, ev.phase, t, t + dur,
                     nbytes=ev.nbytes, peer=ev.peer,
                 )
+            elif ev.kind == "recovery":
+                # Reconstruction work: recompute at FFT efficiency plus
+                # the recovered blocks crossing the wire.
+                dur = cost.compute_time(ev.flops, "fft") + cost.wire_time(ev.nbytes)
+                s = emit(
+                    rank, "recovery", ev.name, ev.phase, t, t + dur,
+                    nbytes=ev.nbytes, flops=ev.flops,
+                )
+            elif ev.kind == "failure":
+                # Zero-length detection marker on the observer's track.
+                emit(
+                    rank, "recovery", ev.name, ev.phase, t, t,
+                    peer=ev.peer, leaf=False,
+                )
+                idx[rank] += 1
+                progressed = True
+                continue
             elif ev.kind == "recv":
                 key = (ev.peer, ev.rank, ev.tag, ev.index)
                 if key in avail:

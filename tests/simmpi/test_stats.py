@@ -149,6 +149,30 @@ class TestAsDictRoundTrip:
         assert ph.corrupt_detected == 1 and ph.duplicates_discarded == 1
         assert ph.acks == 1 and ph.control_bytes == 12
 
+    def test_recovery_counters_survive_round_trip(self):
+        """Resilience accounting (survivable-SOI PR): recovery bytes,
+        recomputed flops, and detections must export and re-import."""
+        stats = TrafficStats()
+        stats.record_failure_detected("alltoall")
+        stats.record_recovery("recover", nbytes=4096, flops=125_000)
+        stats.record_recovery("recover", nbytes=512)
+        clone = TrafficStats.from_dict(stats.as_dict())
+        assert clone.phase("alltoall").detected_failures == 1
+        assert clone.phase("recover").recovery_bytes == 4608
+        assert clone.phase("recover").recovery_flops == 125_000
+        assert clone.total_recovery_bytes == 4608
+        assert clone.total_recovery_flops == 125_000
+        assert clone.total_detected_failures == 1
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_recovery_counters_default_to_zero(self):
+        stats = self._stats_from_run()
+        assert stats.total_recovery_bytes == 0
+        assert stats.total_recovery_flops == 0
+        assert stats.total_detected_failures == 0
+        clone = TrafficStats.from_dict(stats.as_dict())
+        assert clone.total_recovery_bytes == 0
+
     def test_phase_traffic_as_dict_is_sorted(self):
         from repro.simmpi.stats import PhaseTraffic
 

@@ -1,0 +1,158 @@
+"""Tests for the mini-ULFM layer: multi-rank failure aggregation,
+``world.failed_ranks()``, and post-failure ``shrink()`` collectives.
+
+Satellite of the survivable-SOI PR: when several ranks die in one run,
+the :class:`SpmdError` report must carry EVERY rank's exception and
+traceback (in rank order), not just the root cause — and survivors must
+be able to form a shrunken communicator and keep running collectives
+over the remaining membership.
+"""
+
+import pytest
+
+from repro.simmpi import (
+    FaultPlan,
+    InjectedFault,
+    RankFailedError,
+    run_spmd,
+)
+from repro.simmpi.errors import SpmdError
+
+GUARD_S = 20.0
+
+
+class TestAggregatedFailureReport:
+    def test_every_rank_present_in_rank_order(self):
+        def body(comm):
+            raise InjectedFault(f"rank {comm.rank} self-destructs")
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(4, body, timeout=GUARD_S)
+        err = ei.value
+        assert [r for r, _ in err.failures] == [0, 1, 2, 3]
+        assert all(isinstance(e, InjectedFault) for _, e in err.failures)
+        assert "(4 ranks failed in total)" in str(err)
+        for r in range(4):
+            assert f"rank {r}: InjectedFault" in str(err)
+
+    def test_tracebacks_captured_per_rank(self):
+        def body(comm):
+            if comm.rank % 2 == 0:
+                raise ValueError(f"boom on {comm.rank}")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(4, body, timeout=GUARD_S)
+        tbs = ei.value.tracebacks
+        assert set(tbs) == {r for r, _ in ei.value.failures}
+        for r, exc in ei.value.failures:
+            if isinstance(exc, ValueError):
+                assert f"boom on {r}" in tbs[r]
+                assert "ValueError" in tbs[r]
+
+    def test_root_cause_contract_preserved(self):
+        """``rank``/``original`` still name the root cause, so handlers
+        written against RankFailure need no change."""
+
+        def body(comm):
+            if comm.rank == 2:
+                raise ZeroDivisionError("the actual bug")
+            comm.recv(source=2)
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(3, body, timeout=GUARD_S)
+        assert ei.value.rank == 2
+        assert isinstance(ei.value.original, ZeroDivisionError)
+        # ...while the aggregate still reports the collateral damage.
+        assert len(ei.value.failures) == 3
+
+    def test_single_failure_message_stays_terse(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise InjectedFault("solo")
+            return comm.rank
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(2, body, timeout=GUARD_S)
+        assert "ranks failed in total" not in str(ei.value)
+
+
+class TestFailedRanksAndShrink:
+    def test_fault_free_failed_set_is_empty(self):
+        def body(comm):
+            comm.barrier()
+            return comm.world.failed_ranks()
+
+        out = run_spmd(4, body, timeout=GUARD_S)
+        assert all(v == () for v in out.values)
+
+    def test_survivors_agree_on_the_failed_set(self):
+        def body(comm):
+            with comm.phase("doom"):
+                pass
+            try:
+                comm.barrier()
+            except RankFailedError:
+                pass
+            return comm.world.failed_ranks()
+
+        out = run_spmd(
+            4,
+            body,
+            resilient=True,
+            faults=FaultPlan().kill(2, phase="doom"),
+            timeout=GUARD_S,
+        )
+        assert dict(out.failures).keys() == {2}
+        for rank, got in enumerate(out.values):
+            if rank != 2:
+                assert got == (2,)
+
+    def test_shrink_collectives_span_only_survivors(self):
+        def body(comm):
+            with comm.phase("doom"):
+                pass
+            try:
+                comm.barrier()
+            except RankFailedError:
+                pass
+            shrunk = comm.shrink()
+            assert shrunk.size == 3
+            return shrunk.allgather(comm.rank)
+
+        out = run_spmd(
+            4,
+            body,
+            resilient=True,
+            faults=FaultPlan().kill(1, phase="doom"),
+            timeout=GUARD_S,
+        )
+        for rank in (0, 2, 3):
+            assert out.values[rank] == [0, 2, 3]
+
+    def test_shrink_epochs_do_not_cross_talk(self):
+        """Two successive shrink generations over the same survivors:
+        traffic from the first round must not satisfy the second."""
+
+        def body(comm):
+            with comm.phase("doom"):
+                pass
+            try:
+                comm.barrier()
+            except RankFailedError:
+                pass
+            first = comm.shrink(epoch=0).allgather(("a", comm.rank))
+            second = comm.shrink(epoch=1).allgather(("b", comm.rank))
+            return first, second
+
+        out = run_spmd(
+            4,
+            body,
+            resilient=True,
+            faults=FaultPlan().kill(3, phase="doom"),
+            timeout=GUARD_S,
+        )
+        for rank in (0, 1, 2):
+            first, second = out.values[rank]
+            assert first == [("a", 0), ("a", 1), ("a", 2)]
+            assert second == [("b", 0), ("b", 1), ("b", 2)]

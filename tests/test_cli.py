@@ -55,6 +55,7 @@ class TestCli:
             "trace",
             "bench-micro",
             "bench-overlap",
+            "bench-resilience",
             "check",
             "fig5",
             "fig6",
