@@ -397,6 +397,136 @@ def _bench_resilience(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _serve(args: argparse.Namespace) -> dict:
+    """Demo the transform service: mixed load, then the SLO report."""
+    import threading
+
+    from .bench import format_table
+    from .bench.workloads import random_complex
+    from .serve import PRIORITY_CLASSES, ServeConfig, TransformServer
+
+    n = 1024
+    clients, per_client = 12, 4
+    cfg = ServeConfig(
+        workers=2, max_batch=32, batch_linger_s=0.001,
+        warm_shapes=(n,), default_library="repro",
+    )
+    xs = [random_complex(n, seed) for seed in range(4)]
+    prios = sorted(PRIORITY_CLASSES, key=PRIORITY_CLASSES.get)
+    with TransformServer(cfg) as srv:
+        def client(ci: int) -> None:
+            for _ in range(per_client):
+                srv.submit(
+                    xs[ci % len(xs)], backend="dft", priority=prios[ci % len(prios)]
+                ).result(timeout=60.0)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report = srv.metrics_report()
+        warmup = srv.warmup_info()
+    rows = [
+        [name, c["completed"], f"{c['p50_ms']:.2f}", f"{c['p95_ms']:.2f}",
+         f"{c['p99_ms']:.2f}", f"{c['mean_execute_ms']:.3f}"]
+        for name, c in sorted(
+            report["classes"].items(), key=lambda kv: kv[1]["priority"]
+        )
+    ]
+    print(
+        format_table(
+            ["class", "done", "p50 ms", "p95 ms", "p99 ms", "exec ms"],
+            rows,
+            title=f"serve — {clients}-client demo load, dft n={n}, repro library",
+        )
+    )
+    print(
+        f"{report['completed']}/{report['requests']} requests in "
+        f"{report['batches']} coalesced batches (mean size "
+        f"{report['mean_batch_size']:.1f}, max {report['max_batch_size']}); "
+        f"plan cache warmed: {warmup.get('shapes', {})}"
+    )
+    print()
+    return {
+        "n": n,
+        "clients": clients,
+        "per_client": per_client,
+        "config": {
+            "workers": cfg.workers,
+            "max_queue": cfg.max_queue,
+            "max_batch": cfg.max_batch,
+            "batch_linger_s": cfg.batch_linger_s,
+        },
+        "warmup": warmup,
+        "report": report,
+    }
+
+
+def _bench_serve(args: argparse.Namespace) -> dict:
+    """Serving throughput, overload, cache, consistency; writes BENCH_PR7.json."""
+    from .bench import format_table, run_serve_bench
+
+    payload = run_serve_bench(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    rows = [
+        [
+            c["name"],
+            f"{c['serial']['throughput_rps']:.0f}",
+            f"{c['batched']['throughput_rps']:.0f}",
+            f"{c['batched']['mean_batch_size']:.1f}",
+            f"{c['speedup']:.2f}x",
+        ]
+        for c in payload["cases"]
+    ]
+    print(
+        format_table(
+            ["case", "serial rps", "batched rps", "mean batch", "speedup"],
+            rows,
+            title=(
+                f"bench-serve — {payload['config']['clients']}-client closed "
+                "loop, measured wall clock"
+            ),
+        )
+    )
+    head = payload["headline"]
+    print(
+        f"headline: {head['name']}: {head['speedup']:.2f}x "
+        f"(>=3x: {head['meets_3x']}) — coalesced distributed transforms share "
+        "one SPMD launch and three all-to-all epochs per batch"
+    )
+    ov = payload["overload"]
+    print(
+        f"overload: {ov['submitted']} submitted -> {ov['outcomes']['ok']} ok, "
+        f"{ov['rejected_sync']} rejected, {ov['outcomes']['shed']} shed, "
+        f"{ov['outcomes']['deadline']} deadline-expired; hangs: {ov['hangs']}, "
+        f"all resolved: {ov['all_resolved']}, counters match: "
+        f"{ov['counters_match']}"
+    )
+    cache = payload["cache"]
+    print(
+        f"cache: {cache['served_requests']} requests on warmed shapes "
+        f"{cache['warm_shapes']} -> {cache['hits_during_serving']} hits, "
+        f"{cache['misses_during_serving']} misses (all hits: {cache['all_hits']})"
+    )
+    cons = payload["consistency"]
+    print(
+        f"consistency: {len(cons['rows'])} zero-tolerance serve rows, "
+        f"coalesced == solo bitwise: {cons['bitwise_ok']}"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR7.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
 def _check(args: argparse.Namespace) -> dict:
     """Correctness audit: conformance registry + schedule fuzzing + HB scan."""
     from .bench import format_table
@@ -497,6 +627,8 @@ SECTIONS = {
     "bench-micro": _bench_micro,
     "bench-overlap": _bench_overlap,
     "bench-resilience": _bench_resilience,
+    "bench-serve": _bench_serve,
+    "serve": _serve,
     "check": _check,
 }
 
@@ -530,7 +662,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="bench sections: output JSON path (default BENCH_PR3.json for "
         "bench-micro, BENCH_PR5.json for bench-overlap, BENCH_PR6.json for "
-        "bench-resilience)",
+        "bench-resilience, BENCH_PR7.json for bench-serve)",
     )
     parser.add_argument(
         "--bench-quick",

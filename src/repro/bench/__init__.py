@@ -3,6 +3,7 @@
 from .micro import BENCH_SCHEMA, run_micro
 from .overlap import LINK_BANDWIDTH, LINK_LATENCY, OVERLAP_BENCH_SCHEMA, run_overlap_bench
 from .resilience import RESILIENCE_BENCH_SCHEMA, run_resilience_bench
+from .serve import SERVE_BENCH_SCHEMA, run_serve_bench
 from .runner import FigureResult, measured_traffic, run_figure_sweep, trace_rollups
 from .tables import bar_chart, format_series, format_table
 from .workloads import chirp_signal, multitone, noisy_tones, random_complex, random_real
@@ -14,6 +15,8 @@ __all__ = [
     "run_overlap_bench",
     "RESILIENCE_BENCH_SCHEMA",
     "run_resilience_bench",
+    "SERVE_BENCH_SCHEMA",
+    "run_serve_bench",
     "LINK_BANDWIDTH",
     "LINK_LATENCY",
     "FigureResult",

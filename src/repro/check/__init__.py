@@ -19,6 +19,7 @@ compute what they claim, identically, under every interleaving):
 """
 
 from .conformance import (
+    CONFORMANCE_GROUPS,
     ConformanceReport,
     ConformanceRow,
     EXACT_ULP_FACTOR,
@@ -39,6 +40,7 @@ from .schedules import (
 
 __all__ = [
     "Access",
+    "CONFORMANCE_GROUPS",
     "ConformanceReport",
     "ConformanceRow",
     "EXACT_ULP_FACTOR",

@@ -295,8 +295,16 @@ _SIZES = {
     # fine-grid points) inside the oversampled grid K * 5/4.  dist_n
     # must keep the halo (B - nu) * P = 592 within the per-rank block
     # (dist_n / 4), so the distributed rows use the next size up.
-    "small": {"soi_n": 2048, "dist_n": 4096, "transpose_n": 512, "nufft_k": 128},
-    "default": {"soi_n": 4096, "dist_n": 8192, "transpose_n": 1024, "nufft_k": 256},
+    # serve_n must fit the full-window SOI stencil (B*P = 624) and be
+    # divisible by nranks^2 = 16 for the served six-step transform.
+    "small": {
+        "soi_n": 2048, "dist_n": 4096, "transpose_n": 512, "nufft_k": 128,
+        "serve_n": 1024,
+    },
+    "default": {
+        "soi_n": 4096, "dist_n": 8192, "transpose_n": 1024, "nufft_k": 256,
+        "serve_n": 4096,
+    },
 }
 
 _DIST_RANKS = 4
@@ -615,23 +623,214 @@ def _resilience_rows(report: ConformanceReport, n: int) -> None:
     )
 
 
-def run_conformance(size: str = "default", *, edge_backend: str = "numpy") -> ConformanceReport:
-    """Execute the full registry and return the report.
+def _serve_rows(report: ConformanceReport, n: int) -> None:
+    """Serving satellite: coalescing may never change a result bit.
+
+    Zero-tolerance rows in two tiers.  The ``execute_batch`` tier calls
+    the batcher directly (deterministic batch composition) and compares
+    a K-request coalesced dispatch against per-request *direct library
+    calls* for every backend.  The server tier drives a live
+    :class:`~repro.serve.TransformServer` under a batch-formation
+    window, checks that coalescing actually happened, and compares the
+    served outputs against direct execution and against a
+    ``coalesce=False`` server (the one-at-a-time baseline).
+    """
+    from ..dft import plan_for
+    from ..serve import ServeConfig, TransformServer
+    from ..serve.batcher import execute_batch
+
+    # Never started: used purely as the request factory, so these rows
+    # exercise the exact validation + batch-key path ``submit`` uses.
+    builder = TransformServer(ServeConfig())
+
+    def reqs(backend, direction, library, xs, **params):
+        return [
+            builder._build_request(
+                x, direction, backend, library, "batch", None, params
+            )
+            for x in xs
+        ]
+
+    for direction, library in (("forward", "repro"), ("inverse", "numpy")):
+        def dft_compute(direction=direction, library=library):
+            xs = [_signal(f"serve-dft-{direction}-{library}-{i}", n) for i in range(4)]
+            got = np.stack(execute_batch(reqs("dft", direction, library, xs)))
+            inverse = direction == "inverse"
+            if library == "numpy":
+                fn = np.fft.ifft if inverse else np.fft.fft
+                ref = np.stack([fn(x) for x in xs])
+            else:
+                plan = plan_for(n, np.complex128)
+                ref = np.stack([plan.execute(x, inverse=inverse) for x in xs])
+            return got, ref
+
+        _bitwise_row(
+            report,
+            f"serve.execute_batch[dft,{direction},{library},K=4][n={n}]",
+            "serve", n, dft_compute,
+            detail="one coalesced kernel dispatch == per-request library calls",
+        )
+
+    def soi_compute():
+        from ..core.plan import soi_plan_for
+
+        xs = [_signal(f"serve-soi-{i}", n) for i in range(3)]
+        got = np.stack(execute_batch(reqs("soi", "forward", "numpy", xs)))
+        plan = soi_plan_for(n, 8, beta=Fraction(1, 4), window="full")
+        ref = np.stack([soi_fft(x, plan, backend="numpy") for x in xs])
+        return got, ref
+
+    _bitwise_row(
+        report, f"serve.execute_batch[soi,forward,K=3][n={n}]", "serve", n,
+        soi_compute,
+        detail="served SOI batch == per-request soi_fft through the shared plan cache",
+    )
+
+    def transpose_compute():
+        nranks = 4
+        block = n // nranks
+        xs = [_signal(f"serve-transpose-{i}", n) for i in range(3)]
+        batch = reqs("transpose", "forward", "numpy", xs, nranks=nranks)
+        got = np.stack(execute_batch(batch))
+
+        def solo(x):
+            res = run_spmd(
+                nranks,
+                lambda comm: transpose_fft_distributed(
+                    comm,
+                    x[comm.rank * block : (comm.rank + 1) * block],
+                    n,
+                    backend="numpy",
+                ),
+            )
+            return np.concatenate(res.values)
+
+        ref = np.stack([solo(x) for x in xs])
+        return got, ref
+
+    _bitwise_row(
+        report, f"serve.execute_batch[transpose,K=3][n={n}]", "serve", n,
+        transpose_compute,
+        detail="one SPMD world, three shared all-to-alls == three solo worlds",
+    )
+
+    def nufft_compute():
+        k_modes = 128
+        points = _rng(f"serve-nufft[{n}]").uniform(0.0, 1.0, size=n)
+        xs = [_signal(f"serve-nufft-{i}", n) for i in range(3)]
+        batch = reqs(
+            "nufft", "forward", "numpy", xs,
+            points=points, k_modes=k_modes, kind=1,
+        )
+        got = np.stack(execute_batch(batch))
+        plan = NufftPlan(k_modes)
+        ref = np.stack([nufft1(points, x, plan, backend="numpy") for x in xs])
+        return got, ref
+
+    _bitwise_row(
+        report, f"serve.execute_batch[nufft,kind=1,K=3][n={n}]", "serve", n,
+        nufft_compute,
+        detail="shared-plan dispatch group == per-request nufft1 calls",
+    )
+
+    def served(coalesce: bool):
+        xs = [_signal(f"serve-live-{i}", n) for i in range(6)]
+        cfg = ServeConfig(
+            workers=1, max_batch=16, coalesce=coalesce,
+            batch_linger_s=0.05 if coalesce else 0.0,
+            default_library="repro",
+        )
+        with TransformServer(cfg) as srv:
+            tickets = [
+                srv.submit(x, backend="dft", priority="interactive") for x in xs
+            ]
+            out = np.stack([t.result(timeout=30.0) for t in tickets])
+        # Read spans only after stop() joined the workers: tickets
+        # resolve before the batch's metrics are recorded.
+        sizes = [s.batch_size for s in srv.metrics.spans()]
+        return out, max(sizes) if sizes else 0
+
+    def live_compute():
+        out, max_bs = served(True)
+        if max_bs < 2:
+            raise RuntimeError(
+                f"server formed no coalesced batch (max batch size {max_bs})"
+            )
+        plan = plan_for(n, np.complex128)
+        ref = np.stack([
+            plan.execute(_signal(f"serve-live-{i}", n), inverse=False)
+            for i in range(6)
+        ])
+        return out, ref
+
+    _bitwise_row(
+        report, f"serve.server[coalesced==direct,K=6][n={n}]", "serve", n,
+        live_compute,
+        detail="live server under a linger window coalesces AND matches direct calls",
+    )
+
+    def onoff_compute():
+        on, max_bs = served(True)
+        if max_bs < 2:
+            raise RuntimeError(
+                f"server formed no coalesced batch (max batch size {max_bs})"
+            )
+        off, _ = served(False)
+        return on, off
+
+    _bitwise_row(
+        report, f"serve.server[coalesce_on==off,K=6][n={n}]", "serve", n,
+        onoff_compute,
+        detail="coalesce=True server == coalesce=False one-at-a-time baseline",
+    )
+
+
+#: Row-builder groups selectable via ``run_conformance(groups=...)``.
+CONFORMANCE_GROUPS = (
+    "dft", "nufft", "soi", "soi-edge", "dist", "resilience", "serve",
+)
+
+
+def run_conformance(
+    size: str = "default",
+    *,
+    edge_backend: str = "numpy",
+    groups: tuple[str, ...] | list[str] | None = None,
+) -> ConformanceReport:
+    """Execute the registry (or a subset of groups) and return the report.
 
     *size* is ``"default"`` (the acceptance configuration) or
     ``"small"`` (CI smoke: same coverage, smaller transforms).
     *edge_backend* selects the node-local FFT for the edge-geometry
     sweep; the Theorem-2 bound holds for either, and the seq/dist rows
     already cover both backends, so one sweep per run suffices.
+    *groups* restricts the run to the named row groups (see
+    :data:`CONFORMANCE_GROUPS`) — e.g. ``groups=("serve",)`` for the CI
+    serve-smoke job; ``None`` runs everything.
     """
     if size not in _SIZES:
         raise ValueError(f"size must be one of {sorted(_SIZES)}, got {size!r}")
     cfg = _SIZES[size]
+    want = set(CONFORMANCE_GROUPS) if groups is None else set(groups)
+    unknown = want - set(CONFORMANCE_GROUPS)
+    if unknown:
+        raise ValueError(
+            f"unknown conformance groups {sorted(unknown)}; "
+            f"known: {list(CONFORMANCE_GROUPS)}"
+        )
     report = ConformanceReport(size)
-    _dft_rows(report)
-    _nufft_rows(report, cfg["nufft_k"])
-    _soi_seq_rows(report, cfg["soi_n"])
-    _edge_rows(report, edge_backend)
-    _dist_rows(report, cfg["dist_n"], cfg["transpose_n"])
-    _resilience_rows(report, cfg["dist_n"])
+    if "dft" in want:
+        _dft_rows(report)
+    if "nufft" in want:
+        _nufft_rows(report, cfg["nufft_k"])
+    if "soi" in want:
+        _soi_seq_rows(report, cfg["soi_n"])
+    if "soi-edge" in want:
+        _edge_rows(report, edge_backend)
+    if "dist" in want:
+        _dist_rows(report, cfg["dist_n"], cfg["transpose_n"])
+    if "resilience" in want:
+        _resilience_rows(report, cfg["dist_n"])
+    if "serve" in want:
+        _serve_rows(report, cfg["serve_n"])
     return report

@@ -361,6 +361,7 @@ _soi_cache: "OrderedDict[tuple, SoiPlan]" = None  # type: ignore[assignment]
 _soi_lock = threading.Lock()
 _soi_hits = 0
 _soi_misses = 0
+_soi_evictions = 0
 _soi_observer = None  # (state, kind, guard) callable; see repro.check.hb
 
 #: Name of the lock guarding the cache, declared to the HB checker.
@@ -384,7 +385,7 @@ def soi_plan_for(
     cached; exotic specs fall through to a fresh plan.  Safe to call
     concurrently from simmpi rank threads.
     """
-    global _soi_cache, _soi_hits, _soi_misses
+    global _soi_cache, _soi_hits, _soi_misses, _soi_evictions
     if not isinstance(window, (str, float, int)) or isinstance(window, bool):
         return SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
     obs = _soi_observer
@@ -411,26 +412,30 @@ def soi_plan_for(
         _soi_cache.move_to_end(key)
         while len(_soi_cache) > _SOI_CACHE_MAX:
             _soi_cache.popitem(last=False)
+            _soi_evictions += 1
     return plan
 
 
 def clear_soi_plan_cache() -> None:
-    """Drop all cached SOI plans and reset the hit/miss counters."""
-    global _soi_cache, _soi_hits, _soi_misses
+    """Drop all cached SOI plans and reset the hit/miss/eviction counters."""
+    global _soi_cache, _soi_hits, _soi_misses, _soi_evictions
     with _soi_lock:
         if _soi_cache is not None:
             _soi_cache.clear()
         _soi_hits = 0
         _soi_misses = 0
+        _soi_evictions = 0
 
 
 def soi_plan_cache_info() -> dict[str, int]:
-    """Cache statistics: ``{"plans": ..., "hits": ..., "misses": ...}``."""
+    """Cache statistics: entries, hits, misses, evictions, max_plans."""
     with _soi_lock:
         return {
             "plans": 0 if _soi_cache is None else len(_soi_cache),
             "hits": _soi_hits,
             "misses": _soi_misses,
+            "evictions": _soi_evictions,
+            "max_plans": _SOI_CACHE_MAX,
         }
 
 

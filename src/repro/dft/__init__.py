@@ -34,7 +34,15 @@ from .mixed_radix import fft_mixed_radix
 from .bluestein import fft_bluestein
 from .real import rfft, irfft
 from .plan import FftPlan, fft, ifft
-from .cache import clear_plan_cache, plan_cache_info, plan_for, set_plan_cache_limit
+from .cache import (
+    clear_plan_cache,
+    plan_cache_info,
+    plan_for,
+    save_plan_cache_shapes,
+    set_plan_cache_limit,
+    warm_plan_cache,
+    warm_plan_cache_from_file,
+)
 from .backends import FftBackend, get_backend, register_backend, available_backends
 from .flops import fft_flops, fft_gflops_rate
 
@@ -55,6 +63,9 @@ __all__ = [
     "clear_plan_cache",
     "plan_cache_info",
     "set_plan_cache_limit",
+    "warm_plan_cache",
+    "warm_plan_cache_from_file",
+    "save_plan_cache_shapes",
     "FftBackend",
     "get_backend",
     "register_backend",

@@ -50,7 +50,13 @@ __all__ = [
     "plan_cache_info",
     "set_plan_cache_limit",
     "set_plan_cache_observer",
+    "warm_plan_cache",
+    "warm_plan_cache_from_file",
+    "save_plan_cache_shapes",
 ]
+
+#: Schema tag of the persisted shape-list format.
+SHAPES_SCHEMA = "repro.dft.plan_cache_shapes/1"
 
 _DEFAULT_MAX_PLANS = 64
 
@@ -155,6 +161,68 @@ def set_plan_cache_limit(max_plans: int) -> int:
             _plans.popitem(last=False)
             _evictions += 1
         return previous
+
+
+def warm_plan_cache(shapes: Any) -> dict[str, int]:
+    """Pre-build plans for *shapes* so first requests pay no construction.
+
+    *shapes* is an iterable of lengths (``int``) or ``(n, dtype)``
+    pairs.  Returns ``{"requested": ..., "built": ..., "already": ...}``
+    — ``built`` counts plans this call found cold, ``already`` the
+    shapes that were warm before it.
+
+    This is the server-start warmup hook: a transform service warms the
+    sizes it expects (explicitly or from a persisted shape list, see
+    :func:`save_plan_cache_shapes`) and its first requests execute on
+    cache hits instead of paying plan construction in-band.
+    """
+    requested = built = already = 0
+    for shape in shapes:
+        if isinstance(shape, (tuple, list)):
+            n, dtype = shape
+        else:
+            n, dtype = shape, None
+        requested += 1
+        key = (int(n), _compute_dtype(dtype).str)
+        with _lock:
+            warm = key in _plans
+        if warm:
+            already += 1
+        else:
+            built += 1
+        plan_for(int(n), dtype)
+    return {"requested": requested, "built": built, "already": already}
+
+
+def save_plan_cache_shapes(path: str) -> int:
+    """Persist the cached shape set as JSON; returns the count saved.
+
+    The file round-trips through :func:`warm_plan_cache_from_file`, so
+    a long-lived service can snapshot its working set on shutdown and
+    start warm next time.
+    """
+    import json
+
+    with _lock:
+        shapes = [[n, dt] for (n, dt) in _plans]
+    doc = {"schema": SHAPES_SCHEMA, "shapes": shapes}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(shapes)
+
+
+def warm_plan_cache_from_file(path: str) -> dict[str, int]:
+    """Warm the cache from a shape list written by :func:`save_plan_cache_shapes`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SHAPES_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SHAPES_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    return warm_plan_cache(doc["shapes"])
 
 
 def set_plan_cache_observer(

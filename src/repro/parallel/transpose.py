@@ -85,6 +85,13 @@ def distributed_transpose(
     permutation packs per-destination sub-blocks contiguously, the
     all-to-all moves them, a local concatenation re-assembles.
 
+    Leading axes batch: a ``(..., rows/R, cols)`` stack of K slabs
+    transposes K matrices through ONE all-to-all of K-times-larger
+    messages — the per-matrix element operations (and hence the values)
+    are identical to K separate calls, but K-1 synchronisation rounds
+    are saved.  This is what lets the transform server coalesce
+    distributed FFTs (see :mod:`repro.serve`).
+
     With ``verify=True`` the slices are CRC-confirmed and selectively
     re-exchanged (see :mod:`repro.parallel.selfcheck`).
     """
@@ -92,16 +99,20 @@ def distributed_transpose(
     require(rows % r == 0 and cols % r == 0, "ranks must divide both dims")
     rloc = rows // r
     cloc = cols // r
-    require(local.shape == (rloc, cols), f"bad slab shape {local.shape}")
+    require(
+        local.shape[-2:] == (rloc, cols),
+        f"bad slab shape {local.shape} (want (..., {rloc}, {cols}))",
+    )
     sendbufs = [
-        np.ascontiguousarray(local[:, d * cloc : (d + 1) * cloc]) for d in range(r)
+        np.ascontiguousarray(local[..., :, d * cloc : (d + 1) * cloc])
+        for d in range(r)
     ]
     if verify:
         pieces = verified_alltoall(comm, sendbufs, rounds=verify_rounds)
     else:
         pieces = comm.alltoall(sendbufs)
-    # pieces[src]: (rloc, cloc) block of rows src*rloc.., my columns.
-    return np.concatenate([p.T for p in pieces], axis=1)
+    # pieces[src]: (..., rloc, cloc) block of rows src*rloc.., my columns.
+    return np.concatenate([np.swapaxes(p, -1, -2) for p in pieces], axis=-1)
 
 
 def transpose_fft_distributed(
@@ -120,6 +131,13 @@ def transpose_fft_distributed(
     its contiguous ``N/R`` output bins.  Exactly three all-to-all rounds
     (phases ``transpose-1/2/3`` in the traffic stats) — the baseline the
     paper's Figs. 5, 6 and 8 compare SOI against.
+
+    Leading axes batch: a ``(..., N/R)`` stack of K local blocks
+    computes K independent transforms that SHARE the three all-to-all
+    epochs (three total, not 3K) and batch every local FFT/twiddle
+    stage.  Each transform's arithmetic is element-for-element the same
+    as a solo call, so results are bitwise identical — the property the
+    serve conformance rows pin down.
 
     With ``verify=True`` all THREE transposes are CRC-confirmed with
     selective slice retransmission and the output is screened by a
@@ -140,10 +158,15 @@ def transpose_fft_distributed(
     require(n1 % r == 0 and n2 % r == 0, "ranks must divide both grid dims")
     block = n // r
     vec = np.ascontiguousarray(x_local, dtype=np.complex128)
-    require(vec.shape == (block,), f"expected {block} local samples, got {vec.shape}")
+    require(
+        vec.ndim >= 1 and vec.shape[-1] == block,
+        f"expected {block} local samples on the last axis, got {vec.shape}",
+    )
+    batch = vec.shape[:-1]
+    bsz = int(np.prod(batch)) if batch else 1
 
     # Local slab of the row-major N1 x N2 view (N1/R whole rows).
-    a = vec.reshape(n1 // r, n2)
+    a = vec.reshape(*batch, n1 // r, n2)
 
     # 1. transpose-1: rows j2, columns j1.
     with comm.phase("transpose-1"):
@@ -153,14 +176,14 @@ def transpose_fft_distributed(
 
     # 2. length-N1 FFTs over j1.
     bt = be.fft(at)
-    comm.trace_compute("fft-n1", (n2 // r) * fft_flops(n1))
+    comm.trace_compute("fft-n1", bsz * (n2 // r) * fft_flops(n1))
 
     # 3. twiddle w_N^(j2*k1), j2 global row; exact integer reduction of
     # the exponent avoids argument-reduction noise at large N.
     j2 = (comm.rank * (n2 // r) + np.arange(n2 // r, dtype=np.int64))[:, None]
     k1 = np.arange(n1, dtype=np.int64)[None, :]
     bt = bt * np.exp(-2j * np.pi * ((j2 * k1) % n) / n)
-    comm.trace_compute("twiddle", 8.0 * (n2 // r) * n1, kind="conv")
+    comm.trace_compute("twiddle", 8.0 * bsz * (n2 // r) * n1, kind="conv")
 
     # 4. transpose-2: back to rows k1.
     with comm.phase("transpose-2"):
@@ -170,14 +193,14 @@ def transpose_fft_distributed(
 
     # 5. length-N2 FFTs over j2.
     d = be.fft(c)
-    comm.trace_compute("fft-n2", (n1 // r) * fft_flops(n2))
+    comm.trace_compute("fft-n2", bsz * (n1 // r) * fft_flops(n2))
 
     # 6. transpose-3: natural order y[k1 + N1*k2] -> rows k2.
     with comm.phase("transpose-3"):
         dt = distributed_transpose(
             comm, d, n1, n2, verify=verify, verify_rounds=verify_rounds
         )  # (n2/r, n1)
-    y_local = dt.reshape(block)
+    y_local = dt.reshape(*batch, block)
     if verify:
         # Exact-FFT Parseval tolerance: double rounding amplified by the
         # transform depth, with generous headroom.

@@ -1,0 +1,77 @@
+"""Typed service errors — overload is structured, never silent.
+
+Every way a request can fail short of executing has its own exception
+type carrying the facts a caller needs to react (back off, retry with a
+longer deadline, drop priority).  The admission controller *raises*
+:class:`AdmissionRejected` synchronously at the door and *delivers*
+:class:`AdmissionRejected` / :class:`DeadlineExceeded` through the
+ticket for requests shed after admission — either way the caller gets a
+typed error and the metrics layer gets a counter; nothing hangs and
+nothing is dropped silently.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "ServerClosed",
+]
+
+
+class ServeError(Exception):
+    """Base class for every transform-server error."""
+
+
+class AdmissionRejected(ServeError):
+    """The admission controller refused (or evicted) a request.
+
+    Parameters
+    ----------
+    priority:
+        Priority class of the rejected request.
+    queue_depth / max_queue:
+        Occupancy at decision time — the caller's backpressure signal
+        (``queue_depth / max_queue`` is the load fraction; a full queue
+        of higher-priority work means *reduce offered load*).
+    shed:
+        ``False`` — rejected at the door (``submit`` raised);
+        ``True`` — admitted earlier, then evicted to make room for a
+        more urgent request (delivered via the ticket).
+    """
+
+    def __init__(
+        self, message: str, *, priority: int, queue_depth: int, max_queue: int,
+        shed: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.priority = priority
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        self.shed = shed
+
+    @property
+    def load(self) -> float:
+        """Queue occupancy in [0, 1] at the moment of rejection."""
+        return self.queue_depth / self.max_queue if self.max_queue else 1.0
+
+
+class DeadlineExceeded(ServeError):
+    """A request's deadline passed before execution started.
+
+    ``waited_s`` is how long the request sat in the queue; ``deadline_s``
+    the relative deadline it was submitted with.  Deadline sheds happen
+    at batch-selection time (the server never *starts* work it already
+    knows is late), so the execute stage is never charged to a request
+    that missed its deadline in the queue.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float, waited_s: float) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s
+
+
+class ServerClosed(ServeError):
+    """The server is not accepting work (not started, stopping, or stopped)."""

@@ -31,6 +31,7 @@ from .analysis import (
     wait_attribution,
 )
 from .export import aggregate, ascii_timeline, chrome_trace, write_chrome_trace
+from .serve import serve_timeline
 from .spans import (
     SPAN_KINDS,
     Span,
@@ -56,5 +57,6 @@ __all__ = [
     "aggregate",
     "ascii_timeline",
     "chrome_trace",
+    "serve_timeline",
     "write_chrome_trace",
 ]

@@ -1,0 +1,88 @@
+"""Serve-side request spans on the shared trace substrate.
+
+The transform server measures wall-clock (its requests are real), but
+its attribution story is the same as the simulated cluster's: intervals
+on per-lane timelines.  This module maps a serve
+:class:`~repro.serve.metrics.MetricsLog` onto the exact
+:class:`~repro.trace.VirtualTimeline` type the simmpi tracer produces,
+so every existing exporter works unchanged — ``ascii_timeline`` renders
+worker occupancy in the terminal and ``write_chrome_trace`` emits
+Perfetto-loadable JSON with per-request queue/batch/execute spans.
+
+Lane layout (``rank`` in trace terms):
+
+- ranks ``0 .. workers-1`` — worker lanes: one ``compute`` span per
+  coalesced batch (flops/nbytes aggregated over the batch), ``wait``
+  spans filling idle gaps so leaves tile each lane;
+- one lane per priority class above the workers — request lanes: a
+  non-leaf ``wait`` span per request covering its queue + batch wait
+  (phase ``"queue"``), so batch-formation cost is visible per class in
+  a trace viewer without breaking the leaf-tiling invariant.
+
+Times are seconds relative to the log's first submission.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .spans import Span, TraceCostModel, VirtualTimeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..serve.metrics import MetricsLog
+
+__all__ = ["serve_timeline"]
+
+
+def serve_timeline(
+    log: "MetricsLog",
+    workers: int,
+    cost: TraceCostModel | None = None,
+) -> VirtualTimeline:
+    """Render *log* as a :class:`VirtualTimeline` (see module docstring)."""
+    t0 = log.t_start
+    spans: list[Span] = []
+    uid = 0
+
+    by_worker: dict[int, list] = {}
+    for b in sorted(log.batches(), key=lambda b: b.t0):
+        by_worker.setdefault(b.worker, []).append(b)
+    for worker in sorted(by_worker):
+        cursor = 0.0
+        for b in by_worker[worker]:
+            b0, b1 = b.t0 - t0, b.t1 - t0
+            if b0 > cursor:
+                uid += 1
+                spans.append(
+                    Span(
+                        uid=uid, rank=worker, kind="wait", name="idle",
+                        phase="idle", t0=cursor, t1=b0,
+                    )
+                )
+            uid += 1
+            key = b.key[0] if b.key else "batch"
+            spans.append(
+                Span(
+                    uid=uid, rank=worker, kind="compute",
+                    name=f"batch {b.batch_id} (K={b.size})",
+                    phase=f"execute:{key}", t0=b0, t1=max(b1, b0),
+                    nbytes=b.nbytes, flops=b.flops,
+                )
+            )
+            cursor = max(b1, cursor)
+
+    # Request lanes: one per priority class, above the worker lanes.
+    lanes = sorted({s.priority for s in log.spans()})
+    lane_of = {prio: workers + i for i, prio in enumerate(lanes)}
+    for s in log.spans():
+        if s.status != "ok" or s.t_select <= 0.0:
+            continue
+        uid += 1
+        spans.append(
+            Span(
+                uid=uid, rank=lane_of[s.priority], kind="wait",
+                name=f"req {s.rid} (batch {s.batch_id})", phase="queue",
+                t0=s.t_admit - t0, t1=s.t_exec0 - t0, leaf=False,
+            )
+        )
+    return VirtualTimeline(spans=spans, cost=cost or TraceCostModel())

@@ -118,6 +118,24 @@ class TestSoiPlanCache:
         fresh = soi_fft(x, SoiPlan(n=2048, p=4))
         np.testing.assert_array_equal(cached, fresh)
 
+    def test_eviction_counter_round_trip(self, monkeypatch):
+        """LRU evictions are counted and survive info() reads; clear resets."""
+        import repro.core.plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_SOI_CACHE_MAX", 2)
+        first = soi_plan_for(1024, 4)
+        soi_plan_for(1024, 8)
+        soi_plan_for(2048, 4)  # evicts the (1024, 4) plan
+        info = soi_plan_cache_info()
+        assert info["plans"] == 2
+        assert info["evictions"] == 1
+        assert info["misses"] == 3
+        assert soi_plan_for(1024, 4) is not first  # rebuilt after eviction
+        assert soi_plan_cache_info()["evictions"] == 2
+        clear_soi_plan_cache()
+        info = soi_plan_cache_info()
+        assert info["plans"] == 0 and info["evictions"] == 0
+
 
 class TestSequentialDistributedEquality:
     """All assertions route through the shared ``seq_dist`` harness

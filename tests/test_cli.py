@@ -56,6 +56,8 @@ class TestCli:
             "bench-micro",
             "bench-overlap",
             "bench-resilience",
+            "bench-serve",
+            "serve",
             "check",
             "fig5",
             "fig6",
@@ -123,6 +125,24 @@ class TestTraceSection:
         soi = payload["trace"]["runs"]["soi"]
         assert soi["rollup"]["retransmits"] > 0
         assert soi["snr_db"] > 280.0  # transport recovered the run
+
+
+class TestServeSection:
+    def test_serve_demo_prints_slo_table(self, capsys):
+        assert main(["serve", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "serve —" in out
+        assert "interactive" in out and "best_effort" in out
+        payload = _json_payload(out)
+        report = payload["serve"]["report"]
+        assert report["completed"] == report["requests"] == 48
+        classes = report["classes"]
+        assert set(classes) == {"interactive", "batch", "best_effort"}
+        for cls in classes.values():
+            assert cls["p50_ms"] <= cls["p95_ms"] <= cls["p99_ms"]
+        # The demo load coalesces: fewer batches than requests.
+        assert report["batches"] < report["requests"]
+        assert payload["serve"]["warmup"]["shapes"]["requested"] == 1
 
 
 class TestCheckSection:

@@ -1,0 +1,107 @@
+"""Tests for the serve → VirtualTimeline mapping and its exporters.
+
+One real server run feeds every assertion: worker lanes must tile with
+compute/idle leaves (one compute span per coalesced batch), request
+lanes carry non-leaf queue spans per priority class, and the standard
+exporters (Chrome JSON, ASCII, rollup) consume the timeline unchanged.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, TransformServer
+from repro.trace import ascii_timeline, rollup, serve_timeline, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A finished server run: (server, timeline, report)."""
+    gen = np.random.default_rng(3)
+    cfg = ServeConfig(
+        workers=1, max_batch=16, batch_linger_s=0.02,
+        default_library="numpy",
+    )
+    with TransformServer(cfg) as srv:
+        tickets = [
+            srv.submit(
+                gen.standard_normal(256) + 1j * gen.standard_normal(256),
+                priority=prio,
+            )
+            for prio in ("interactive", "batch", "interactive", "batch",
+                         "best_effort", "best_effort")
+        ]
+        for t in tickets:
+            t.result(timeout=30.0)
+        report = srv.metrics_report()
+    return srv, srv.timeline(), report
+
+
+class TestLaneLayout:
+    def test_one_compute_span_per_batch(self, served):
+        srv, tl, report = served
+        compute = [s for s in tl.spans if s.kind == "compute"]
+        assert len(compute) == report["batches"] > 0
+        assert all(s.rank < srv.config.workers for s in compute)
+        assert all("batch" in s.name for s in compute)
+        assert all(s.phase.startswith("execute:") for s in compute)
+
+    def test_worker_lane_leaves_tile_without_overlap(self, served):
+        _, tl, _ = served
+        leaves = sorted(tl.rank_spans(0, leaf_only=True), key=lambda s: s.t0)
+        assert leaves
+        for prev, cur in zip(leaves, leaves[1:]):
+            assert cur.t0 >= prev.t1 - 1e-12
+
+    def test_queue_spans_are_nonleaf_on_class_lanes(self, served):
+        srv, tl, report = served
+        queue = [s for s in tl.spans if s.phase == "queue"]
+        assert len(queue) == report["completed"] == 6
+        assert all(not s.leaf for s in queue)
+        assert all(s.rank >= srv.config.workers for s in queue)
+        # Three priority classes were used: three request lanes.
+        assert len({s.rank for s in queue}) == 3
+
+    def test_compute_spans_carry_batch_flops_and_bytes(self, served):
+        _, tl, _ = served
+        compute = [s for s in tl.spans if s.kind == "compute"]
+        assert all(s.flops > 0 and s.nbytes > 0 for s in compute)
+
+    def test_times_are_relative_to_first_submission(self, served):
+        _, tl, _ = served
+        assert min(s.t0 for s in tl.spans) >= 0.0
+        assert tl.makespan > 0.0
+
+
+class TestExporters:
+    def test_chrome_trace_round_trips(self, served, tmp_path):
+        _, tl, report = served
+        path = tmp_path / "serve.trace.json"
+        write_chrome_trace(tl, str(path))
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(tl.spans)
+        assert sum(1 for e in events if "batch" in e["name"]) >= report["batches"]
+
+    def test_ascii_timeline_renders(self, served):
+        _, tl, _ = served
+        art = ascii_timeline(tl, width=60)
+        assert isinstance(art, str)
+        assert "#" in art  # compute glyph present on a worker lane
+
+    def test_rollup_aggregates_the_serve_run(self, served):
+        srv, tl, _ = served
+        agg = rollup(tl)
+        assert agg["makespan_s"] == pytest.approx(tl.makespan)
+        assert agg["by_kind_s"].get("compute", 0.0) > 0.0
+        assert agg["ranks"] >= srv.config.workers
+        json.dumps(agg)  # JSON-safe by construction
+
+
+class TestDirectConstruction:
+    def test_serve_timeline_of_an_empty_log_is_empty(self):
+        from repro.serve import MetricsLog
+
+        tl = serve_timeline(MetricsLog(), workers=2)
+        assert tl.spans == []
