@@ -148,8 +148,10 @@ def _snr(args: argparse.Namespace) -> dict:
 
 
 def _traffic(args: argparse.Namespace) -> dict:
-    from .bench import format_table, measured_traffic
+    from .bench import format_table, measured_traffic, random_complex
     from .core import SoiPlan
+    from .parallel import soi_fft_distributed
+    from .simmpi import run_spmd
 
     n, ranks = 1 << 13, 4
     plan = SoiPlan(n=n, p=8)
@@ -168,6 +170,50 @@ def _traffic(args: argparse.Namespace) -> dict:
         )
     )
     print()
+
+    # Topology section (PR 8): the same SOI transform under a node
+    # shape, per schedule — intra-node traffic rides the zero-copy
+    # shared-buffer path and is split out from what hits the fabric.
+    rpn = 2
+    blocks = random_complex(n, 5).reshape(ranks, -1)
+    topology: dict = {
+        "ranks_per_node": rpn,
+        "nodes": ranks // rpn,
+        "algorithms": {},
+    }
+    topo_rows = []
+    for algorithm in ("pairwise", "hierarchical"):
+        res = run_spmd(
+            ranks,
+            lambda comm: soi_fft_distributed(comm, blocks[comm.rank], plan),
+            ranks_per_node=rpn,
+            alltoall_algorithm=algorithm,
+        )
+        st = res.stats
+        entry = {
+            "selected_algorithm": algorithm,
+            "intra_node_bytes": int(st.total_intra_node_bytes),
+            "inter_node_bytes": int(st.total_inter_node_bytes),
+            "inter_node_messages": int(st.total_inter_node_messages),
+        }
+        topology["algorithms"][algorithm] = entry
+        topo_rows.append([
+            algorithm,
+            entry["intra_node_bytes"],
+            entry["inter_node_bytes"],
+            entry["inter_node_messages"],
+        ])
+    print(
+        format_table(
+            ["algorithm", "intra-node bytes", "inter-node bytes", "inter-node msgs"],
+            topo_rows,
+            title=(
+                f"Topology (SOI, {ranks} ranks as {ranks // rpn} nodes "
+                f"x {rpn} ranks/node)"
+            ),
+        )
+    )
+    print()
     return {
         "n": n,
         "nranks": ranks,
@@ -177,6 +223,7 @@ def _traffic(args: argparse.Namespace) -> dict:
         "std_transpose_bytes": int(std),
         "soi_stats": facts["soi_stats"].as_dict(),
         "std_stats": facts["std_stats"].as_dict(),
+        "topology": topology,
     }
 
 
@@ -389,6 +436,63 @@ def _bench_resilience(args: argparse.Namespace) -> dict:
         f"{soak['total_wall_s']:.1f}s total"
     )
     out = getattr(args, "bench_out", None) or "BENCH_PR6.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
+def _bench_a2a(args: argparse.Namespace) -> dict:
+    """All-to-all schedule sweep over node shapes; writes BENCH_PR8.json."""
+    from .bench import format_table, run_a2a_bench
+
+    payload = run_a2a_bench(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    rows = []
+    for shape in payload["shapes"]:
+        label = f"{shape['nodes']}x{shape['ranks_per_node']}"
+        cell = shape["cells"][-1]
+        for algorithm in payload["config"]["algorithms"]:
+            t = cell[algorithm]
+            rows.append([
+                label,
+                algorithm,
+                t["inter_node_messages"],
+                t["inter_node_bytes"],
+                f"{t['modelled_fat_tree_us']:.1f}",
+            ])
+    print(
+        format_table(
+            ["shape", "algorithm", "inter msgs", "inter bytes", "fat-tree us"],
+            rows,
+            title=(
+                f"bench-a2a — P={payload['config']['nranks']} all-to-all, "
+                f"largest message size, measured traffic + modelled fabric"
+            ),
+        )
+    )
+    head = payload["headline"]
+    for label, h in head["per_shape"].items():
+        print(
+            f"  {label}: hierarchical vs pairwise — "
+            f"{h['inter_node_messages_ratio']:.0f}x fewer inter-node messages, "
+            f"{h['inter_node_bytes_ratio']:.3f}x wire bytes, "
+            f"{h['modelled_time_ratio']:.2f}x modelled fat-tree time "
+            f"(wins: {h['hierarchical_wins']})"
+        )
+    soi = payload["soi"]
+    print(
+        f"  SOI N={soi['n']}, {soi['nranks']} ranks: hierarchical wins "
+        f"{soi['hierarchical_wins']} "
+        f"({soi['pairwise']['alltoall_phase_inter_node_messages']} -> "
+        f"{soi['hierarchical']['alltoall_phase_inter_node_messages']} "
+        f"inter-node messages in the alltoall phase)"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR8.json"
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -628,6 +732,7 @@ SECTIONS = {
     "bench-overlap": _bench_overlap,
     "bench-resilience": _bench_resilience,
     "bench-serve": _bench_serve,
+    "bench-a2a": _bench_a2a,
     "serve": _serve,
     "check": _check,
 }
@@ -662,7 +767,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="bench sections: output JSON path (default BENCH_PR3.json for "
         "bench-micro, BENCH_PR5.json for bench-overlap, BENCH_PR6.json for "
-        "bench-resilience, BENCH_PR7.json for bench-serve)",
+        "bench-resilience, BENCH_PR7.json for bench-serve, BENCH_PR8.json "
+        "for bench-a2a)",
     )
     parser.add_argument(
         "--bench-quick",

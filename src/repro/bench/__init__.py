@@ -1,5 +1,6 @@
 """Benchmark harness shared by the per-figure benchmarks in benchmarks/."""
 
+from .a2a import A2A_BENCH_SCHEMA, run_a2a_bench
 from .micro import BENCH_SCHEMA, run_micro
 from .overlap import LINK_BANDWIDTH, LINK_LATENCY, OVERLAP_BENCH_SCHEMA, run_overlap_bench
 from .resilience import RESILIENCE_BENCH_SCHEMA, run_resilience_bench
@@ -9,6 +10,8 @@ from .tables import bar_chart, format_series, format_table
 from .workloads import chirp_signal, multitone, noisy_tones, random_complex, random_real
 
 __all__ = [
+    "A2A_BENCH_SCHEMA",
+    "run_a2a_bench",
     "BENCH_SCHEMA",
     "run_micro",
     "OVERLAP_BENCH_SCHEMA",

@@ -785,9 +785,146 @@ def _serve_rows(report: ConformanceReport, n: int) -> None:
     )
 
 
+def _a2a_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
+    """Topology-aware all-to-all satellite (PR 8).
+
+    The schedule choice (``pairwise``/``bruck``/``hierarchical``) and
+    the zero-copy intra-node path move the *same payload references*
+    through different message patterns, so every row here is
+    zero-tolerance: raw exchanges, SOI's one all-to-all, all three
+    six-step transposes, and the ``verify=``/``trace=`` compositions
+    must be bit-for-bit the pairwise reference.  One analytic row pins
+    the measured inter-node message counts to the schedule model
+    (:func:`repro.simmpi.predicted_inter_node_messages`) — the quantity
+    the hierarchical schedule exists to shrink.
+    """
+    from ..simmpi import predicted_inter_node_messages
+
+    # -- raw exchange: every algorithm bitwise == pairwise -------------
+    def raw(algorithm, rpn):
+        def body(comm):
+            gen = np.random.default_rng(1234 + comm.rank)
+            objs = [
+                gen.standard_normal(16) + 1j * gen.standard_normal(16)
+                for _ in range(8)
+            ]
+            return np.stack(comm.alltoall(objs, algorithm=algorithm))
+
+        return np.stack(run_spmd(8, body, ranks_per_node=rpn).values)
+
+    for algorithm, rpn in (
+        ("bruck", None), ("bruck", 4), ("hierarchical", 4), ("hierarchical", 3),
+    ):
+        _bitwise_row(
+            report,
+            f"alltoall[{algorithm},P=8,rpn={rpn}]==pairwise", "a2a", 8,
+            lambda algorithm=algorithm, rpn=rpn: (
+                raw(algorithm, rpn), raw("pairwise", rpn)
+            ),
+            detail="schedule choice is bitwise-invisible on the raw exchange"
+            + (" (ragged tail node)" if rpn == 3 else ""),
+        )
+
+    # -- measured inter-node message counts == the analytic model ------
+    def message_counts():
+        measured, predicted = [], []
+        for algorithm in ("pairwise", "bruck", "hierarchical"):
+            def body(comm, algorithm=algorithm):
+                objs = [np.full(4, comm.rank, dtype=np.complex128) for _ in range(8)]
+                comm.alltoall(objs, algorithm=algorithm)
+
+            # Read the counter off the joined result — a rank's exchange
+            # can complete before its peers' last sends are recorded.
+            res = run_spmd(8, body, ranks_per_node=4)
+            measured.append(res.stats.total_inter_node_messages)
+            predicted.append(predicted_inter_node_messages(8, 4, algorithm))
+        return np.asarray(measured), np.asarray(predicted)
+
+    _bitwise_row(
+        report, "alltoall.inter_node_messages[P=8,rpn=4]==predicted", "a2a", 8,
+        message_counts,
+        detail="measured TrafficStats counts match the schedule model exactly",
+    )
+
+    # -- SOI: its ONE all-to-all under each schedule -------------------
+    plan = SoiPlan(n=n, p=_DIST_P)
+    x = _signal(f"dist.soi[{n}]", n)  # same signal family as _dist_rows
+    blocks = split_blocks(x, _DIST_RANKS)
+    rpn = 2  # 4 ranks as 2 nodes x 2 ranks
+
+    def dist(algorithm=None, ranks_per_node=rpn, **kwargs):
+        res = run_spmd(
+            _DIST_RANKS,
+            lambda comm: soi_fft_distributed(
+                comm, blocks[comm.rank], plan,
+                alltoall_algorithm=algorithm, **kwargs,
+            ),
+            ranks_per_node=ranks_per_node,
+        )
+        return np.concatenate(res.values)
+
+    baseline = dist()
+    _bitwise_row(
+        report, f"soi_fft_distributed[pairwise,rpn={rpn}]==flat[n={n}]", "a2a", n,
+        lambda: (baseline, dist(ranks_per_node=None)),
+        detail="the zero-copy intra-node path is bit-transparent",
+    )
+    for algorithm in ("bruck", "hierarchical"):
+        _bitwise_row(
+            report,
+            f"soi_fft_distributed[{algorithm},rpn={rpn}][n={n}]", "a2a", n,
+            lambda algorithm=algorithm: (dist(algorithm), baseline),
+            detail="SOI's one all-to-all reschedules without moving a bit",
+        )
+    _bitwise_row(
+        report,
+        f"soi_fft_distributed[hierarchical,verify=True][n={n}]", "a2a", n,
+        lambda: (dist("hierarchical", verify=True), baseline),
+        detail="CRC verification composes with the hierarchical schedule",
+    )
+
+    def traced():
+        rec = TraceRecorder()
+        out = dist("hierarchical", trace=rec)
+        if rec.nevents == 0:
+            raise RuntimeError("trace recorder captured no events")
+        return out, baseline
+
+    _bitwise_row(
+        report, f"soi_fft_distributed[hierarchical,trace=][n={n}]", "a2a", n,
+        traced,
+        detail="tracing is bit-transparent under the hierarchical schedule",
+    )
+
+    # -- six-step: all THREE transposes under each schedule ------------
+    xt = _signal(f"dist.transpose[{transpose_n}]", transpose_n)
+    tblocks = split_blocks(xt, _DIST_RANKS)
+
+    def transpose(algorithm=None):
+        res = run_spmd(
+            _DIST_RANKS,
+            lambda comm: transpose_fft_distributed(
+                comm, tblocks[comm.rank], transpose_n,
+                alltoall_algorithm=algorithm,
+            ),
+            ranks_per_node=rpn,
+        )
+        return np.concatenate(res.values)
+
+    tbase = transpose()
+    for algorithm in ("bruck", "hierarchical"):
+        _bitwise_row(
+            report,
+            f"transpose_fft_distributed[{algorithm},rpn={rpn}][n={transpose_n}]",
+            "a2a", transpose_n,
+            lambda algorithm=algorithm: (transpose(algorithm), tbase),
+            detail="all three six-step transposes reschedule bitwise-identically",
+        )
+
+
 #: Row-builder groups selectable via ``run_conformance(groups=...)``.
 CONFORMANCE_GROUPS = (
-    "dft", "nufft", "soi", "soi-edge", "dist", "resilience", "serve",
+    "dft", "nufft", "soi", "soi-edge", "dist", "resilience", "serve", "a2a",
 )
 
 
@@ -833,4 +970,6 @@ def run_conformance(
         _resilience_rows(report, cfg["dist_n"])
     if "serve" in want:
         _serve_rows(report, cfg["serve_n"])
+    if "a2a" in want:
+        _a2a_rows(report, cfg["dist_n"], cfg["transpose_n"])
     return report

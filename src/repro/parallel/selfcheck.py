@@ -39,6 +39,7 @@ def verified_alltoall(
     comm: Communicator,
     sendbufs: list[np.ndarray],
     rounds: int = DEFAULT_VERIFY_ROUNDS,
+    algorithm: str | None = None,
 ) -> list[np.ndarray]:
     """All-to-all whose slices are checksummed and selectively repaired.
 
@@ -48,9 +49,14 @@ def verified_alltoall(
     via ``alltoallv`` with per-pair counts of 0 or 1 — the uneven
     collective).  Bounded by *rounds* repair attempts, after which a
     :class:`VerificationError` is raised collectively.
+
+    ``algorithm`` applies to the DATA exchange only; the tiny CRC and
+    repair collectives stay on the default schedule (their payloads are
+    scalars — there is nothing to aggregate).
     """
     return confirm_alltoall_slices(
-        comm, sendbufs, list(comm.alltoall(sendbufs)), rounds=rounds
+        comm, sendbufs, list(comm.alltoall(sendbufs, algorithm=algorithm)),
+        rounds=rounds,
     )
 
 

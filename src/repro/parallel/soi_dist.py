@@ -141,6 +141,7 @@ def soi_fft_distributed(
     overlap: bool = False,
     overlap_groups: int = 2,
     resilience: SoiResilience | None = None,
+    alltoall_algorithm: str | None = None,
 ) -> np.ndarray:
     """SPMD SOI FFT: each rank passes its block, receives its output block.
 
@@ -183,6 +184,13 @@ def soi_fft_distributed(
     is bit-identical to the blocking path; the extra traffic is the
     input replication ring plus one checksum column per all-to-all
     block.  Mutually exclusive with ``overlap=`` and ``verify=``.
+
+    ``alltoall_algorithm`` selects the exchange schedule of step 4
+    (``"pairwise"``/``"bruck"``/``"hierarchical"``; ``None`` defers to
+    the world default) — collective, like every other parameter here.
+    All schedules are bitwise-identical in output.  The pipelined
+    ``overlap=True`` path keeps its own isend/irecv piece schedule and
+    ignores the algorithm (its sends ARE the exchange).
     """
     be = get_backend(backend)
     if trace is not None:
@@ -250,9 +258,12 @@ def soi_fft_distributed(
         # reshape yields every destination slice as a view.
         sendbufs = list(v_t.reshape(comm.size, s_per, -1))
         if verify:
-            pieces = verified_alltoall(comm, sendbufs, rounds=verify_rounds)
+            pieces = verified_alltoall(
+                comm, sendbufs, rounds=verify_rounds,
+                algorithm=alltoall_algorithm,
+            )
         else:
-            pieces = comm.alltoall(sendbufs)
+            pieces = comm.alltoall(sendbufs, algorithm=alltoall_algorithm)
     # pieces[src] is (S, rows_per_rank): my segments, src's row range.
 
     # -- 5. segment FFTs + demodulation (in-order output). ----------------
@@ -438,6 +449,7 @@ def soi_ifft_distributed(
     overlap: bool = False,
     overlap_groups: int = 2,
     resilience: SoiResilience | None = None,
+    alltoall_algorithm: str | None = None,
 ) -> np.ndarray:
     """Distributed inverse SOI transform (approximates ``ifft``).
 
@@ -458,7 +470,7 @@ def soi_ifft_distributed(
         comm, np.conj(vec), plan, backend=backend,
         verify=verify, verify_rounds=verify_rounds, trace=trace,
         overlap=overlap, overlap_groups=overlap_groups,
-        resilience=resilience,
+        resilience=resilience, alltoall_algorithm=alltoall_algorithm,
     )
     np.conjugate(forward, out=forward)
     forward /= plan.n

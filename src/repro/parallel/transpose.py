@@ -77,6 +77,7 @@ def distributed_transpose(
     cols: int,
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
+    alltoall_algorithm: str | None = None,
 ) -> np.ndarray:
     """Transpose a row-distributed ``rows x cols`` matrix (one all-to-all).
 
@@ -108,9 +109,11 @@ def distributed_transpose(
         for d in range(r)
     ]
     if verify:
-        pieces = verified_alltoall(comm, sendbufs, rounds=verify_rounds)
+        pieces = verified_alltoall(
+            comm, sendbufs, rounds=verify_rounds, algorithm=alltoall_algorithm
+        )
     else:
-        pieces = comm.alltoall(sendbufs)
+        pieces = comm.alltoall(sendbufs, algorithm=alltoall_algorithm)
     # pieces[src]: (..., rloc, cloc) block of rows src*rloc.., my columns.
     return np.concatenate([np.swapaxes(p, -1, -2) for p in pieces], axis=-1)
 
@@ -124,6 +127,7 @@ def transpose_fft_distributed(
     verify: bool = False,
     verify_rounds: int = DEFAULT_VERIFY_ROUNDS,
     trace: TraceRecorder | None = None,
+    alltoall_algorithm: str | None = None,
 ) -> np.ndarray:
     """In-order N-point FFT, block-distributed, via the six-step algorithm.
 
@@ -148,6 +152,11 @@ def transpose_fft_distributed(
     With ``trace=`` the run lands on a virtual timeline whose three
     all-to-all epochs contrast with SOI's one (see :mod:`repro.trace`);
     tracing is bit-transparent.
+
+    ``alltoall_algorithm`` applies to all THREE transposes
+    (``"pairwise"``/``"bruck"``/``"hierarchical"``; ``None`` defers to
+    the world default) — six-step pays the schedule choice three times
+    where SOI pays it once.  Bitwise-identical output either way.
     """
     be = get_backend(backend)
     if trace is not None:
@@ -171,7 +180,8 @@ def transpose_fft_distributed(
     # 1. transpose-1: rows j2, columns j1.
     with comm.phase("transpose-1"):
         at = distributed_transpose(
-            comm, a, n1, n2, verify=verify, verify_rounds=verify_rounds
+            comm, a, n1, n2, verify=verify, verify_rounds=verify_rounds,
+            alltoall_algorithm=alltoall_algorithm,
         )  # (n2/r, n1)
 
     # 2. length-N1 FFTs over j1.
@@ -188,7 +198,8 @@ def transpose_fft_distributed(
     # 4. transpose-2: back to rows k1.
     with comm.phase("transpose-2"):
         c = distributed_transpose(
-            comm, bt, n2, n1, verify=verify, verify_rounds=verify_rounds
+            comm, bt, n2, n1, verify=verify, verify_rounds=verify_rounds,
+            alltoall_algorithm=alltoall_algorithm,
         )  # (n1/r, n2)
 
     # 5. length-N2 FFTs over j2.
@@ -198,7 +209,8 @@ def transpose_fft_distributed(
     # 6. transpose-3: natural order y[k1 + N1*k2] -> rows k2.
     with comm.phase("transpose-3"):
         dt = distributed_transpose(
-            comm, d, n1, n2, verify=verify, verify_rounds=verify_rounds
+            comm, d, n1, n2, verify=verify, verify_rounds=verify_rounds,
+            alltoall_algorithm=alltoall_algorithm,
         )  # (n2/r, n1)
     y_local = dt.reshape(*batch, block)
     if verify:

@@ -70,7 +70,7 @@ class TransformRequest:
 
     ``deadline`` is absolute on the server's monotonic clock (``None``
     = no deadline).  ``params`` carries backend-specific configuration
-    (SOI: ``p``/``beta``/``window``; transpose: ``nranks``; NUFFT:
+    (SOI: ``p``/``beta``/``window``; transpose: ``nranks``/``algorithm``; NUFFT:
     ``points``/``k_modes``/``kind``) already validated by ``submit``.
     """
 
@@ -113,7 +113,10 @@ class TransformRequest:
                 p["p"], p["beta"], p["window"],
             )
         if self.backend == "transpose":
-            return ("transpose", self.n, self.library, self.params["nranks"])
+            return (
+                "transpose", self.n, self.library,
+                self.params["nranks"], self.params["algorithm"],
+            )
         # nufft: per-request execution inside the group; key only needs
         # to identify work the same worker loop can drain together.
         p = self.params

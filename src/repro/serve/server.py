@@ -70,11 +70,19 @@ class ServeConfig:
     warmup_path: str | None = None
     #: SOI configurations ``(n, p)`` to warm the SOI plan cache with.
     warm_soi: Sequence[tuple[int, int]] = ()
+    #: Default all-to-all schedule for distributed (transpose) requests
+    #: (``"pairwise"``/``"bruck"``/``"hierarchical"``); per-request
+    #: ``algorithm=`` overrides.  Bitwise-identical results either way —
+    #: the choice only moves wire traffic (see ``repro.simmpi.alltoall``).
+    alltoall_algorithm: str = "pairwise"
 
     def __post_init__(self) -> None:
         check_positive_int(self.workers, "workers")
         check_positive_int(self.max_queue, "max_queue")
         check_positive_int(self.max_batch, "max_batch")
+        from ..simmpi.alltoall import resolve_algorithm
+
+        resolve_algorithm(self.alltoall_algorithm)
 
 
 class TransformServer:
@@ -179,8 +187,8 @@ class TransformServer:
         synchronously when the admission controller refuses the request,
         and :class:`ServerClosed` when the server is not running.
         Backend-specific parameters ride in ``params`` (SOI:
-        ``p``/``beta``/``window``; transpose: ``nranks``; NUFFT:
-        ``points``/``k_modes``/``kind``).
+        ``p``/``beta``/``window``; transpose: ``nranks``/``algorithm``;
+        NUFFT: ``points``/``k_modes``/``kind``).
         """
         req = self._build_request(
             x, direction, backend, library, priority, deadline_s, params
@@ -237,12 +245,11 @@ class TransformServer:
         )
         return req
 
-    @staticmethod
-    def _backend_params(backend, arr, direction, params) -> dict[str, Any]:
+    def _backend_params(self, backend, arr, direction, params) -> dict[str, Any]:
         known = {
             "dft": set(),
             "soi": {"p", "beta", "window"},
-            "transpose": {"nranks"},
+            "transpose": {"nranks", "algorithm"},
             "nufft": {"points", "k_modes", "kind"},
         }[backend]
         extra = set(params) - known
@@ -259,7 +266,12 @@ class TransformServer:
         if backend == "transpose":
             if direction != "forward":
                 raise ValueError("transpose backend serves forward transforms only")
-            return {"nranks": int(params.get("nranks", 4))}
+            from ..simmpi.alltoall import resolve_algorithm
+
+            algo = resolve_algorithm(
+                params.get("algorithm", self.config.alltoall_algorithm)
+            )
+            return {"nranks": int(params.get("nranks", 4)), "algorithm": algo}
         if backend == "nufft":
             points = np.asarray(params["points"], dtype=np.float64)
             kind = int(params.get("kind", 1))

@@ -22,12 +22,14 @@ support communication/computation overlap; an optional modelled link
 messages a wall-clock cost that pipelined algorithms can hide.
 """
 
+from .alltoall import ALGORITHMS, predicted_inter_node_messages, resolve_algorithm
 from .comm import (
     Communicator,
     RecvRequest,
     Request,
     SendRequest,
     ShrunkCommunicator,
+    SubCommunicator,
     TransportPolicy,
     World,
     waitall,
@@ -46,13 +48,21 @@ from .errors import (
     VerificationError,
 )
 from .faults import FAULT_KINDS, ChaosSchedule, FaultPlan, FaultSpec
+from .nodes import FABRIC_HEADER_BYTES, NodeMap, NodeSharedPool
 from .runtime import SpmdResult, run_spmd
 from .stats import PhaseTraffic, TrafficStats
 
 __all__ = [
+    "ALGORITHMS",
+    "predicted_inter_node_messages",
+    "resolve_algorithm",
     "Communicator",
     "ShrunkCommunicator",
+    "SubCommunicator",
     "World",
+    "FABRIC_HEADER_BYTES",
+    "NodeMap",
+    "NodeSharedPool",
     "TransportPolicy",
     "Request",
     "SendRequest",

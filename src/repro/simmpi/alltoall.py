@@ -1,0 +1,266 @@
+"""Pluggable all-to-all exchange schedules.
+
+The personalised all-to-all is the dominant communication of both
+distributed FFT backends (the paper's whole pitch is needing ONE of
+them instead of three), so *how* those P² blocks move matters.  Three
+schedules hide behind ``Communicator.alltoall(..., algorithm=)``:
+
+``pairwise``
+    The historical direct exchange (implemented in ``comm.py``): every
+    rank sends P−1 messages.  Bitwise reference for the others.
+
+``bruck``
+    The log-P store-and-forward schedule (Bruck et al., 1997): blocks
+    rotate so that round k forwards every block whose remaining
+    distance has bit k set, combined into ONE message per rank per
+    round.  ceil(log2 P) messages per rank instead of P−1 — the
+    classic small-message / high-latency regime.
+
+``hierarchical``
+    Node-aggregated exchange: within each node, members hand their
+    off-node blocks to the node leader (intra-node, zero fabric);
+    leaders exchange ONE combined message per ordered node pair;
+    leaders scatter the arrivals back to their members.  Same-node
+    blocks go directly, never touching a leader.  Inter-node message
+    count collapses from P·(P−R) to (P/R)·(P/R−1) for R ranks/node —
+    the AccFFT/MVAPICH-style topology-aware collective.
+
+Every schedule moves payloads by reference (store-and-forward included),
+so all three return *the same objects* the sender passed in — bitwise
+identity with ``pairwise`` is structural, and the conformance suite pins
+it.  Byte accounting is per physical hop: ``bruck`` pays for forwarding,
+``hierarchical`` pays gather+exchange+scatter — the point is what
+fraction of those hops crosses nodes, which is what
+``TrafficStats.inter_node_bytes`` measures.
+
+Tag bands (disjoint from every other collective):
+
+- bruck round k:          ``-940 - k``
+- hierarchical gather:    ``-920`` (member -> leader)
+- hierarchical exchange:  ``-921`` (leader -> leader)
+- hierarchical scatter:   ``-922`` (leader -> member)
+- hierarchical same-node: ``-923`` (direct member -> member)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .comm import Communicator
+
+__all__ = [
+    "ALGORITHMS",
+    "resolve_algorithm",
+    "exchange",
+    "predicted_inter_node_messages",
+]
+
+ALGORITHMS = ("pairwise", "bruck", "hierarchical")
+
+BRUCK_TAG_BASE = -940
+HIER_GATHER_TAG = -920
+HIER_EXCHANGE_TAG = -921
+HIER_SCATTER_TAG = -922
+HIER_LOCAL_TAG = -923
+
+
+def resolve_algorithm(algorithm: str | None, world: Any = None) -> str:
+    """Resolve an explicit choice against the world default.
+
+    Explicit wins; ``None`` falls back to ``world.alltoall_algorithm``
+    (itself defaulting to ``"pairwise"``).  Unknown names raise.
+    """
+    algo = algorithm
+    if algo is None:
+        algo = getattr(world, "alltoall_algorithm", None) or "pairwise"
+    if algo not in ALGORITHMS:
+        raise ValueError(
+            f"unknown alltoall algorithm {algo!r}; expected one of {ALGORITHMS}"
+        )
+    return algo
+
+
+def predicted_inter_node_messages(
+    nranks: int, ranks_per_node: int | None, algorithm: str
+) -> int:
+    """Analytic inter-node message count of one clean all-to-all.
+
+    Exactly what ``TrafficStats.inter_node_messages`` measures for a
+    fault-free, transport-free run — the conformance suite compares the
+    two.  Handles ragged tails (a final node smaller than R) because it
+    walks the same :class:`~repro.simmpi.nodes.NodeMap` arithmetic the
+    runtime uses.
+    """
+    from .nodes import NodeMap
+
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown alltoall algorithm {algorithm!r}")
+    nm = NodeMap(nranks, ranks_per_node)
+    if algorithm == "pairwise":
+        return sum(
+            1
+            for s in range(nranks)
+            for d in range(nranks)
+            if s != d and not nm.same_node(s, d)
+        )
+    if algorithm == "bruck":
+        count = 0
+        k = 1
+        while k < nranks:
+            count += sum(
+                1 for r in range(nranks) if not nm.same_node(r, (r + k) % nranks)
+            )
+            k <<= 1
+        return count
+    # hierarchical: one combined message per ordered pair of distinct nodes
+    return nm.nnodes * (nm.nnodes - 1)
+
+
+def exchange(
+    comm: "Communicator",
+    objs: Sequence[Any],
+    algorithm: str,
+    timeout: float | None = None,
+) -> list[Any]:
+    """Run one non-pairwise all-to-all on *comm* (dispatcher).
+
+    Keeps the pairwise accounting contract: ONE all-to-all round
+    charged (at local rank 0), one ``(rank, rank)`` self-delivery
+    message, and the whole exchange bracketed as a single traced
+    collective so ``alltoall_epochs`` stays 1 per call.
+    """
+    from .comm import _payload_bytes
+
+    if len(objs) != comm.size:
+        raise ValueError(f"alltoall needs exactly {comm.size} send items")
+    if comm.rank == 0:
+        comm.stats.record_alltoall(comm._phase)
+    with comm._traced_collective("alltoall"):
+        wr = comm.world_rank
+        comm.stats.record_message(
+            comm._phase, wr, wr, _payload_bytes(objs[comm.rank])
+        )
+        if algorithm == "bruck":
+            return _bruck(comm, objs, timeout)
+        if algorithm == "hierarchical":
+            return _hierarchical(comm, objs, timeout)
+        raise ValueError(f"exchange() does not dispatch {algorithm!r}")
+
+
+def _bruck(
+    comm: "Communicator", objs: Sequence[Any], timeout: float | None
+) -> list[Any]:
+    """Bruck's log-P store-and-forward schedule (any P, not just 2^k).
+
+    Phase 1 rotates: ``tmp[i]`` holds the block whose destination is
+    ``i`` ranks ahead.  Phase 2, round k: every block whose remaining
+    distance has bit k set rides ONE combined message k ranks forward.
+    Phase 3 inverse-rotates received blocks into source order.
+    """
+    p, rank = comm.size, comm.rank
+    tmp = [objs[(rank + i) % p] for i in range(p)]
+    k, rnd = 1, 0
+    while k < p:
+        idxs = [i for i in range(1, p) if i & k]
+        tag = BRUCK_TAG_BASE - rnd
+        comm.send([tmp[i] for i in idxs], (rank + k) % p, tag=tag)
+        got = comm._collective_recv(
+            (rank - k) % p, tag, timeout, "alltoall(bruck)"
+        )
+        for i, item in zip(idxs, got):
+            tmp[i] = item
+        k <<= 1
+        rnd += 1
+    out: list[Any] = [None] * p
+    for i in range(p):
+        out[(rank - i) % p] = tmp[i]
+    return out
+
+
+def _hierarchical(
+    comm: "Communicator", objs: Sequence[Any], timeout: float | None
+) -> list[Any]:
+    """Node-aggregated gather -> leader exchange -> scatter.
+
+    Structure comes from ``comm.node_groups()`` (identical on every
+    rank, so no coordination traffic).  All sends are nonblocking
+    channel appends; receives follow a fixed global order, so the
+    schedule is deadlock-free and deterministic:
+
+    1. every rank sends its same-node blocks directly (tag −923);
+    2. non-leaders send their off-node blocks to the node leader,
+       grouped by destination node (tag −920, intra-node);
+    3. each leader sends ONE flattened message per remote node —
+       ``[block(src → dst) for src in my node for dst in remote node]``
+       (tag −921, the only inter-node hop);
+    4. leaders unpack arrivals and scatter each member's slice back
+       (tag −922, intra-node);
+    5. everyone drains the direct same-node blocks.
+    """
+    p, rank = comm.size, comm.rank
+    groups = comm.node_groups()
+    my_gi = next(gi for gi, g in enumerate(groups) if rank in g)
+    my_group = groups[my_gi]
+    leader = my_group[0]
+    nlocal = len(my_group)
+    out: list[Any] = [None] * p
+    out[rank] = objs[rank]
+
+    # 1. same-node blocks travel directly (zero-copy pool, no leader hop).
+    for dst in my_group:
+        if dst != rank:
+            comm.send(objs[dst], dst, tag=HIER_LOCAL_TAG)
+
+    remote_gis = [gi for gi in range(len(groups)) if gi != my_gi]
+    if remote_gis:
+        # contrib[pos] = my blocks for groups[remote_gis[pos]], dest order.
+        contrib = [[objs[d] for d in groups[gi]] for gi in remote_gis]
+        if rank == leader:
+            per_member = {rank: contrib}
+            for m in my_group[1:]:
+                per_member[m] = comm._collective_recv(
+                    m, HIER_GATHER_TAG, timeout, "alltoall(hierarchical gather)"
+                )
+            for pos, gi in enumerate(remote_gis):
+                flat = [blk for src in my_group for blk in per_member[src][pos]]
+                comm.send(flat, groups[gi][0], tag=HIER_EXCHANGE_TAG)
+            inbound: dict[int, list] = {}
+            for gi in remote_gis:
+                inbound[gi] = comm._collective_recv(
+                    groups[gi][0],
+                    HIER_EXCHANGE_TAG,
+                    timeout,
+                    "alltoall(hierarchical exchange)",
+                )
+            # inbound[gi][si * nlocal + di] = block(groups[gi][si] -> my_group[di])
+            for di, m in enumerate(my_group):
+                blocks = [
+                    inbound[gi][si * nlocal + di]
+                    for gi in remote_gis
+                    for si in range(len(groups[gi]))
+                ]
+                if m == rank:
+                    it = iter(blocks)
+                    for gi in remote_gis:
+                        for src in groups[gi]:
+                            out[src] = next(it)
+                else:
+                    comm.send(blocks, m, tag=HIER_SCATTER_TAG)
+        else:
+            comm.send(contrib, leader, tag=HIER_GATHER_TAG)
+            blocks = comm._collective_recv(
+                leader, HIER_SCATTER_TAG, timeout, "alltoall(hierarchical scatter)"
+            )
+            it = iter(blocks)
+            for gi in remote_gis:
+                for src in groups[gi]:
+                    out[src] = next(it)
+
+    # 5. drain the direct same-node blocks (sent in step 1 by everyone).
+    for src in my_group:
+        if src != rank:
+            out[src] = comm._collective_recv(
+                src, HIER_LOCAL_TAG, timeout, "alltoall(hierarchical local)"
+            )
+    return out

@@ -69,6 +69,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from .alltoall import ALGORITHMS, resolve_algorithm
 from .errors import (
     CollectiveTimeoutError,
     CorruptMessageError,
@@ -79,12 +80,14 @@ from .errors import (
     SimMpiError,
 )
 from .faults import FaultPlan, corrupt_payload
+from .nodes import FABRIC_HEADER_BYTES, NodeMap, NodeSharedPool
 from .stats import TrafficStats
 
 __all__ = [
     "World",
     "Communicator",
     "ShrunkCommunicator",
+    "SubCommunicator",
     "TransportPolicy",
     "Request",
     "SendRequest",
@@ -258,12 +261,27 @@ class World:
         link_latency_s: float = 0.0,
         link_bandwidth: float | None = None,
         resilient: bool = False,
+        ranks_per_node: int | None = None,
+        alltoall_algorithm: str = "pairwise",
     ) -> None:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
+        if alltoall_algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown alltoall algorithm {alltoall_algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
         self.nranks = nranks
         self.timeout = timeout
+        # Node topology: ranks_per_node=None keeps the historical flat
+        # world (every rank its own node).  Same-node messages bypass the
+        # link pump and ride the shared pool; TrafficStats splits bytes
+        # into intra-node vs inter-node accordingly.
+        self.nodes = NodeMap(nranks, ranks_per_node)
+        self.node_pool = NodeSharedPool(self.nodes)
+        self.alltoall_algorithm = alltoall_algorithm
         self.stats = TrafficStats()
+        self.stats.configure_topology(self.nodes, header_bytes=FABRIC_HEADER_BYTES)
         self.faults = faults
         self.transport = transport
         # Resilient mode (mini ULFM): a dying rank is *marked* failed and
@@ -341,10 +359,38 @@ class World:
             self._cv.notify_all()
 
     def _put(self, key: tuple, item: Any) -> None:
-        if self._pump is not None and key[0] != key[1]:
+        src, dst = key[0], key[1]
+        if src != dst and self.nodes.same_node(src, dst):
+            # Same-node, different-rank: the payload rides the node's
+            # shared pool (a zero-copy view for ndarrays) and never
+            # touches the modelled link — node-local exchanges are
+            # memory moves, not fabric traffic.
+            self._arrive(key, self._stage_same_node(src, dst, item))
+            return
+        if self._pump is not None and src != dst:
             self._pump.submit(key, item, self._wire_bytes(item))
             return
         self._arrive(key, item)
+
+    def _stage_same_node(self, src: int, dst: int, item: Any) -> Any:
+        """Route a same-node payload through the node shared pool.
+
+        Transport envelopes are re-framed around the staged inner payload
+        (seq/CRC/nbytes unchanged — a view has identical bytes), so the
+        reliable protocol composes with the zero-copy path.
+        """
+        if isinstance(item, _Envelope):
+            staged = self.node_pool.stage(src, dst, item.payload)
+            if staged is item.payload:
+                return item
+            return _Envelope(
+                seq=item.seq,
+                phase=item.phase,
+                payload=staged,
+                crc=item.crc,
+                nbytes=item.nbytes,
+            )
+        return self.node_pool.stage(src, dst, item)
 
     def _delayed_put(self, key: tuple, item: Any, delay_s: float) -> None:
         holder = [item]  # identity token (payloads may be ndarrays: no ==)
@@ -1021,6 +1067,16 @@ class Communicator:
         return self.world.nranks
 
     @property
+    def world_rank(self) -> int:
+        """This rank's WORLD numbering (== ``rank`` except on splits).
+
+        Traffic statistics and trace timelines are always keyed by world
+        ranks; sub-communicators override this so inherited collectives
+        account correctly.
+        """
+        return self.rank
+
+    @property
     def stats(self) -> TrafficStats:
         return self.world.stats
 
@@ -1056,19 +1112,19 @@ class Communicator:
         """
         tracer = self.world.tracer
         if tracer is not None:
-            tracer.record_compute(name, self.rank, name, flops, kind)
+            tracer.record_compute(name, self.world_rank, name, flops, kind)
 
     @contextmanager
     def _traced_collective(self, name: str) -> Iterator[None]:
         """Bracket a collective so its epoch encloses the member transfers."""
         tracer = self.world.tracer
         if tracer is not None:
-            tracer.record_collective_begin(self._phase, self.rank, name)
+            tracer.record_collective_begin(self._phase, self.world_rank, name)
         try:
             yield
         finally:
             if tracer is not None:
-                tracer.record_collective_end(self._phase, self.rank, name)
+                tracer.record_collective_end(self._phase, self.world_rank, name)
 
     # ---- point-to-point ----------------------------------------------------
 
@@ -1407,7 +1463,10 @@ class Communicator:
             self.stats.record_alltoall(self._phase)
         out: list[Any] = [None] * self.size
         self.stats.record_message(
-            self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+            self._phase,
+            self.world_rank,
+            self.world_rank,
+            _payload_bytes(objs[self.rank]),
         )
         out[self.rank] = objs[self.rank]
         sends: list[SendRequest] = []
@@ -1447,7 +1506,10 @@ class Communicator:
         out: list[Any] = [None] * self.size
         if objs[self.rank] is not None:
             self.stats.record_message(
-                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+                self._phase,
+                self.world_rank,
+                self.world_rank,
+                _payload_bytes(objs[self.rank]),
             )
             out[self.rank] = objs[self.rank]
         sends: list[SendRequest] = []
@@ -1559,7 +1621,10 @@ class Communicator:
             return self.recv(root, tag=-4)
 
     def alltoall(
-        self, objs: Sequence[Any], timeout: float | None = None
+        self,
+        objs: Sequence[Any],
+        timeout: float | None = None,
+        algorithm: str | None = None,
     ) -> list[Any]:
         """Personalised all-to-all: send ``objs[d]`` to rank d, get one each.
 
@@ -1569,9 +1634,22 @@ class Communicator:
         A dead peer raises :class:`RankFailedError` naming it; an
         explicit per-member ``timeout`` expiring with nobody dead raises
         :class:`CollectiveTimeoutError`.
+
+        ``algorithm`` picks the exchange schedule — ``"pairwise"`` (the
+        bitwise reference, below), ``"bruck"`` (log P combined rounds)
+        or ``"hierarchical"`` (node-aggregated; see
+        :mod:`repro.simmpi.alltoall`).  ``None`` defers to the world's
+        default.  Every algorithm is a collective contract: all ranks
+        must resolve to the same choice, and all return bitwise-identical
+        output lists.
         """
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs exactly {self.size} send items")
+        algo = resolve_algorithm(algorithm, self.world)
+        if algo != "pairwise":
+            from .alltoall import exchange
+
+            return exchange(self, objs, algo, timeout)
         if self.rank == 0:
             self.stats.record_alltoall(self._phase)
         with self._traced_collective("alltoall"):
@@ -1581,7 +1659,10 @@ class Communicator:
             out = [None] * self.size
             # Self-delivery is a local copy: accounted as a (rank, rank) message.
             self.stats.record_message(
-                self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+                self._phase,
+                self.world_rank,
+                self.world_rank,
+                _payload_bytes(objs[self.rank]),
             )
             out[self.rank] = objs[self.rank]
             for src in range(self.size):
@@ -1647,7 +1728,10 @@ class Communicator:
             out = [None] * self.size
             if objs[self.rank] is not None:
                 self.stats.record_message(
-                    self._phase, self.rank, self.rank, _payload_bytes(objs[self.rank])
+                    self._phase,
+                self.world_rank,
+                self.world_rank,
+                _payload_bytes(objs[self.rank]),
                 )
                 out[self.rank] = objs[self.rank]
             for src in src_list:
@@ -1672,6 +1756,93 @@ class Communicator:
         """Reduce then broadcast the result to every rank."""
         result = self.reduce(obj, op=op, root=0)
         return self.bcast(result, root=0)
+
+    # ---- communicator splits (MPI_Comm_split) ----------------------------
+
+    def _world_rank_of(self, local: int) -> int:
+        """World rank of local rank *local* (identity on the base comm)."""
+        return local
+
+    def _split_ctx(self) -> tuple:
+        """Context prefix inherited by communicators split off this one."""
+        return ()
+
+    def split(
+        self, color: Any, key: int | None = None
+    ) -> "SubCommunicator | None":
+        """Partition this communicator by *color* (MPI's ``MPI_Comm_split``).
+
+        Collective: every member must call it (one allgather of the
+        ``(color, key)`` pairs — that coordination traffic is real and
+        charged to the current phase).  Ranks sharing a color form a new
+        :class:`SubCommunicator`, ordered by ``(key, old rank)`` (*key*
+        defaults to the old rank, preserving relative order);
+        ``color=None`` opts out and returns ``None``.  Each split gets a
+        fresh context id, so its tag space is disjoint from the parent's
+        and from every sibling's.  Nested splits compose.
+        """
+        self._split_count = getattr(self, "_split_count", 0) + 1
+        entries = self.allgather((color, self.rank if key is None else int(key)))
+        if color is None:
+            return None
+        members = [
+            self._world_rank_of(i)
+            for _, i in sorted(
+                (k, i) for i, (c, k) in enumerate(entries) if c == color
+            )
+        ]
+        # Deterministic without negotiation: every member executes the
+        # same split sequence in lockstep, so (inherited ctx, ordinal,
+        # color) is globally unique per sub-communicator.
+        ctx = self._split_ctx() + (("split", self._split_count, color),)
+        return SubCommunicator(self.world, members, self.world_rank, ctx)
+
+    def split_by_node(
+        self,
+    ) -> tuple["SubCommunicator", "SubCommunicator | None"]:
+        """Split along the world's node topology: ``(node_comm, leader_comm)``.
+
+        ``node_comm`` spans this communicator's members on the local
+        node (world-rank order); ``leader_comm`` spans the per-node
+        leaders (each group's first member) and is ``None`` on
+        non-leaders — the pyuvsim/MPI ``split_type=SHARED`` idiom.
+        Membership is pure arithmetic on the world's :class:`NodeMap`:
+        no coordination traffic, so it is free to call inside a
+        communication phase.
+        """
+        nodes = self.world.nodes
+        groups = self.node_groups()
+        my_group = next(g for g in groups if self.rank in g)
+        my_node = nodes.node_of(self.world_rank)
+        ctx = self._split_ctx()
+        node_comm = SubCommunicator(
+            self.world,
+            [self._world_rank_of(i) for i in my_group],
+            self.world_rank,
+            ctx + (("node", my_node),),
+        )
+        leader_comm = None
+        if self.rank == my_group[0]:
+            leader_comm = SubCommunicator(
+                self.world,
+                [self._world_rank_of(g[0]) for g in groups],
+                self.world_rank,
+                ctx + (("leaders",),),
+            )
+        return node_comm, leader_comm
+
+    def node_groups(self) -> list[list[int]]:
+        """This communicator's local ranks grouped by node, node-ascending.
+
+        Each group lists local ranks in ascending order; the first entry
+        of each group is its leader.  The hierarchical all-to-all and
+        :meth:`split_by_node` both derive their structure from this.
+        """
+        nodes = self.world.nodes
+        groups: dict[int, list[int]] = {}
+        for i in range(self.size):
+            groups.setdefault(nodes.node_of(self._world_rank_of(i)), []).append(i)
+        return [groups[n] for n in sorted(groups)]
 
     # ---- failure recovery (mini ULFM) ------------------------------------
 
@@ -1814,8 +1985,16 @@ class ShrunkCommunicator(Communicator):
             return self.recv(root, tag=tag)
 
     def alltoall(
-        self, objs: Sequence[Any], timeout: float | None = None
+        self,
+        objs: Sequence[Any],
+        timeout: float | None = None,
+        algorithm: str | None = None,
     ) -> list[Any]:
+        if algorithm not in (None, "pairwise"):
+            raise NotImplementedError(
+                "shrunk communicators exchange pairwise only (survivor sets "
+                "have no node structure to aggregate over)"
+            )
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs exactly {self.size} send items")
         if self.rank == self.members[0]:
@@ -1909,4 +2088,133 @@ class ShrunkCommunicator(Communicator):
         return (
             f"ShrunkCommunicator(rank={self.rank}, members={self.members}, "
             f"epoch={self.epoch})"
+        )
+
+
+class SubCommunicator(Communicator):
+    """Communicator over a subset of ranks (:meth:`Communicator.split`).
+
+    Unlike :class:`ShrunkCommunicator` (which keeps world numbering so
+    recovery code can address peers it already knows), a split follows
+    MPI semantics fully: members are RENUMBERED ``0..size-1`` in
+    ``(key, old rank)`` order, and every point-to-point and collective
+    operation addresses peers by the new local ranks.
+
+    Tag isolation: every wire message carries the communicator's
+    context tuple inside the channel tag (``("sub", ctx, tag)``), so two
+    sub-communicators — even ones with identical membership — can never
+    consume each other's messages, nor the parent's.  Channel tags are
+    any-hashable, so this costs nothing.
+
+    All wire effects delegate to an internal world-rank communicator:
+    traffic statistics, tracing, fault injection, schedule fuzzing, the
+    reliable transport and the zero-copy node pool all observe WORLD
+    ranks, exactly as if the user had hand-translated the ranks.
+    Inherited collectives (bcast/gather/.../alltoall with every
+    algorithm) work unchanged on top of the overridden point-to-point.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        members: Sequence[int],
+        world_rank: int,
+        ctx: tuple = (),
+    ) -> None:
+        self.world = world
+        self.members = tuple(int(m) for m in members)
+        wrank = int(world_rank)
+        if wrank not in self.members:
+            raise ValueError(
+                f"world rank {wrank} is not a member of {self.members}"
+            )
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members: {self.members}")
+        self.ctx = tuple(ctx)
+        self.rank = self.members.index(wrank)
+        self._wrank = wrank
+        self._phase = "default"
+        self._base = Communicator(world, wrank)
+
+    # ---- introspection ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def world_rank(self) -> int:
+        return self._wrank
+
+    def _world_rank_of(self, local: int) -> int:
+        return self.members[local]
+
+    def _split_ctx(self) -> tuple:
+        return self.ctx
+
+    def _tag(self, tag: Any) -> tuple:
+        return ("sub", self.ctx, tag)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        # Delegate to the base communicator so the fault plan's kill
+        # boundary fires on the world rank; mirror the label locally for
+        # collective accounting.
+        with self._base.phase(name):
+            prev, self._phase = self._phase, name
+            try:
+                yield
+            finally:
+                self._phase = prev
+
+    # ---- point-to-point (local ranks, world wire) ------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_peer(dest, "destination")
+        self._base.send(obj, self.members[dest], tag=self._tag(tag))
+
+    def recv(
+        self, source: int, tag: int = 0, timeout: float | None = None
+    ) -> Any:
+        self._check_peer(source, "source")
+        return self._base.recv(
+            self.members[source], tag=self._tag(tag), timeout=timeout
+        )
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
+        self._check_peer(dest, "destination")
+        return self._base.isend(obj, self.members[dest], tag=self._tag(tag))
+
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        self._check_peer(source, "source")
+        return self._base.irecv(self.members[source], tag=self._tag(tag))
+
+    # ---- collectives ------------------------------------------------------
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Message-based member barrier (the world barrier spans everyone)."""
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.record_barrier(self._phase, self.world_rank)
+        if self.size == 1:
+            return
+        if self.rank == 0:
+            for m in range(1, self.size):
+                self.recv(m, tag=-9, timeout=timeout)
+            for m in range(1, self.size):
+                self.send(0, m, tag=-9)
+        else:
+            self.send(0, 0, tag=-9)
+            self.recv(0, tag=-9, timeout=timeout)
+
+    def shrink(self, epoch: int = 0) -> "ShrunkCommunicator":
+        raise NotImplementedError(
+            "shrink() operates on world communicators; shrink the parent "
+            "and re-split"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SubCommunicator(rank={self.rank}/{self.size}, "
+            f"world_rank={self._wrank}, ctx={self.ctx})"
         )

@@ -1,0 +1,172 @@
+"""Node topology of a simulated world: which ranks share a machine.
+
+Real clusters are node-hierarchical: R ranks share one node's memory
+and NIC, and only traffic *between* nodes touches the fabric.  The
+historical simmpi world is flat — every rank its own node — which makes
+every cross-rank byte a fabric byte.  :class:`NodeMap` gives the world
+a shape (``ranks_per_node``), and everything topology-aware hangs off
+it: the traffic split into intra-node vs inter-node bytes, the
+:class:`~repro.simmpi.comm._LinkPump` bypass for same-node messages,
+:meth:`~repro.simmpi.comm.Communicator.split_by_node`, and the
+``hierarchical`` all-to-all's node aggregation.
+
+Zero-copy is literal here: ranks are threads in one address space, so a
+same-node ndarray "transfer" through :class:`NodeSharedPool` hands the
+receiver a *view* of the sender's buffer (``np.shares_memory`` proves
+it) and charges zero fabric bytes.  The pool records how many transfers
+and bytes rode shared memory, so the saving is measured, not asserted.
+
+``FABRIC_HEADER_BYTES`` models the per-message envelope a real fabric
+charges (an InfiniBand/MPI header is ~dozens of bytes of match bits,
+sequence numbers and routing).  Payload byte *volume* crossing nodes is
+algorithm-invariant — every off-node element crosses exactly once —
+but message *count* is not: the hierarchical all-to-all collapses
+P·(P−R) inter-node messages to (P/R)·(P/R−1), and the header term is
+what makes that collapse visible in measured inter-node bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any
+
+import numpy as np
+
+__all__ = ["FABRIC_HEADER_BYTES", "NodeMap", "NodeSharedPool"]
+
+#: Modelled per-message fabric envelope, charged to inter-node byte
+#: counters only (never to ``bytes_by_pair`` — payload accounting is
+#: unchanged from every prior PR).
+FABRIC_HEADER_BYTES = 64
+
+
+class NodeMap:
+    """Assignment of world ranks to simulated nodes (contiguous blocks).
+
+    ``ranks_per_node=None`` (or 1) is the historical flat world: each
+    rank is its own node, so ``same_node(a, b)`` iff ``a == b`` and the
+    inter-node byte counters coincide with the pre-existing
+    ``offnode_bytes()`` notion.  With ``ranks_per_node=R``, rank r lives
+    on node ``r // R``; a world size that R does not divide leaves a
+    smaller final node (allowed — real jobs run ragged tails too).
+    """
+
+    def __init__(self, nranks: int, ranks_per_node: int | None = None) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        rpn = 1 if ranks_per_node is None else int(ranks_per_node)
+        if rpn < 1:
+            raise ValueError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
+        self.nranks = int(nranks)
+        self.ranks_per_node = min(rpn, self.nranks)
+        self.nnodes = -(-self.nranks // self.ranks_per_node)  # ceil
+
+    @property
+    def flat(self) -> bool:
+        """Whether this is the historical one-rank-per-node world."""
+        return self.ranks_per_node == 1
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank // self.ranks_per_node
+
+    def ranks_on(self, node: int) -> tuple[int, ...]:
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} out of range [0, {self.nnodes})")
+        lo = node * self.ranks_per_node
+        return tuple(range(lo, min(lo + self.ranks_per_node, self.nranks)))
+
+    def leader_of(self, node: int) -> int:
+        """The node's leader rank (its lowest world rank)."""
+        return self.ranks_on(node)[0]
+
+    def same_node(self, a: int, b: int) -> bool:
+        return a // self.ranks_per_node == b // self.ranks_per_node
+
+    def as_dict(self) -> dict:
+        return {
+            "nranks": self.nranks,
+            "ranks_per_node": self.ranks_per_node,
+            "nnodes": self.nnodes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NodeMap(nranks={self.nranks}, "
+            f"ranks_per_node={self.ranks_per_node}, nnodes={self.nnodes})"
+        )
+
+
+class NodeSharedPool:
+    """Per-node shared-memory staging for same-node ndarray transfers.
+
+    Ranks are threads, so a node's "shared buffer pool" is the process
+    heap itself; what this class adds is the *proof* and the *meter*.
+    :meth:`stage` hands back a view of the sender's array — sharing the
+    buffer byte-for-byte (checksums, faults and the reliable transport
+    see identical content) without copying — registers the base buffer
+    in the node's live set (weakly, so staging never extends payload
+    lifetime), and counts the transfer against the node.
+
+    Non-ndarray payloads pass through untouched: small control objects
+    are not worth pooling, and their byte accounting already treats
+    them as modelled scalars.
+    """
+
+    def __init__(self, nodes: NodeMap) -> None:
+        self.nodes = nodes
+        self._lock = threading.Lock()
+        self._transfers: dict[int, int] = {}
+        self._bytes: dict[int, int] = {}
+        #: node -> {id(base): weakref} of buffers currently staged at
+        #: least once; dead refs are pruned opportunistically.
+        self._live: dict[int, dict[int, weakref.ref]] = {}
+
+    def stage(self, src: int, dst: int, payload: Any) -> Any:
+        """Route a same-node payload through the node's pool.
+
+        Returns the object to deliver: a no-copy view for ndarrays, the
+        payload itself otherwise.  Self-sends (``src == dst``) are local
+        moves, not pool traffic, and pass through unmetered.
+        """
+        if src == dst or not isinstance(payload, np.ndarray):
+            return payload
+        node = self.nodes.node_of(src)
+        view = payload.view()
+        base = payload if payload.base is None else payload.base
+        with self._lock:
+            self._transfers[node] = self._transfers.get(node, 0) + 1
+            self._bytes[node] = self._bytes.get(node, 0) + int(payload.nbytes)
+            live = self._live.setdefault(node, {})
+            live[id(base)] = weakref.ref(base)
+            if len(live) > 64:
+                for key in [k for k, ref in live.items() if ref() is None]:
+                    del live[key]
+        return view
+
+    def transfers(self, node: int | None = None) -> int:
+        with self._lock:
+            if node is not None:
+                return self._transfers.get(node, 0)
+            return sum(self._transfers.values())
+
+    def bytes_staged(self, node: int | None = None) -> int:
+        with self._lock:
+            if node is not None:
+                return self._bytes.get(node, 0)
+            return sum(self._bytes.values())
+
+    def live_buffers(self, node: int) -> int:
+        """How many distinct staged base buffers are still alive on *node*."""
+        with self._lock:
+            live = self._live.get(node, {})
+            return sum(1 for ref in live.values() if ref() is not None)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "transfers": dict(sorted(self._transfers.items())),
+                "bytes": dict(sorted(self._bytes.items())),
+            }

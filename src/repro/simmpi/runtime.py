@@ -98,6 +98,8 @@ def run_spmd(
     max_restarts: int = 0,
     restartable: Callable[[BaseException], bool] | None = None,
     resilient: bool = False,
+    ranks_per_node: int | None = None,
+    alltoall_algorithm: str = "pairwise",
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on *nranks* ranks.
@@ -165,6 +167,19 @@ def run_spmd(
         casualties) as long as at least one rank completed; it raises
         :class:`~repro.simmpi.errors.SpmdError` only when every rank
         failed.
+    ranks_per_node:
+        Node topology of the simulated cluster: R consecutive ranks
+        share each node (see :class:`~repro.simmpi.nodes.NodeMap`).
+        Same-node messages bypass the modelled link and ride the
+        zero-copy node pool; traffic statistics split bytes into
+        intra-node vs inter-node.  ``None`` keeps the historical flat
+        world (every rank its own node).
+    alltoall_algorithm:
+        World-wide default exchange schedule for
+        :meth:`~repro.simmpi.comm.Communicator.alltoall` — one of
+        ``"pairwise"``, ``"bruck"``, ``"hierarchical"`` (see
+        :mod:`repro.simmpi.alltoall`).  Per-call ``algorithm=``
+        overrides it.
 
     Returns an :class:`SpmdResult` with ``values[rank]``, the shared
     :class:`TrafficStats` of the successful attempt, and the number of
@@ -185,6 +200,7 @@ def run_spmd(
         failure = _run_once(
             nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace,
             schedule, link_latency, link_bandwidth, resilient,
+            ranks_per_node, alltoall_algorithm,
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -209,6 +225,8 @@ def _run_once(
     link_latency: float = 0.0,
     link_bandwidth: float | None = None,
     resilient: bool = False,
+    ranks_per_node: int | None = None,
+    alltoall_algorithm: str = "pairwise",
 ) -> SpmdResult | SpmdError:
     world = World(
         nranks,
@@ -218,6 +236,8 @@ def _run_once(
         link_latency_s=link_latency,
         link_bandwidth=link_bandwidth,
         resilient=resilient,
+        ranks_per_node=ranks_per_node,
+        alltoall_algorithm=alltoall_algorithm,
     )
     world.fault_hook = fault_hook
     if trace is not None:

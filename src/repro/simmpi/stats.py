@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["PhaseTraffic", "TrafficStats"]
 
@@ -41,6 +42,19 @@ class PhaseTraffic:
     )
     alltoall_rounds: int = 0
     pt2pt_rounds: int = 0
+    # Topology split (PR 8): every recorded message lands in exactly one
+    # of these two byte pools.  ``intra_node_bytes`` counts payload bytes
+    # moved inside a node (shared memory: self-sends plus same-node
+    # peers); ``inter_node_bytes`` counts payload bytes that crossed the
+    # fabric PLUS a modelled per-message header
+    # (:data:`~repro.simmpi.nodes.FABRIC_HEADER_BYTES`), so message-count
+    # reductions show up in bytes.  ``bytes_by_pair`` stays pure payload
+    # — headers are never charged there.  On a flat world (the default
+    # one-rank-per-node map), ``inter_node_bytes`` covers exactly the
+    # ``offnode_bytes()`` messages.
+    intra_node_bytes: int = 0
+    inter_node_bytes: int = 0
+    inter_node_messages: int = 0
     # Reliability counters (populated only when a TransportPolicy is on):
     retransmits: int = 0
     retransmit_bytes: int = 0
@@ -97,6 +111,9 @@ class PhaseTraffic:
             },
             "alltoall_rounds": self.alltoall_rounds,
             "pt2pt_rounds": self.pt2pt_rounds,
+            "intra_node_bytes": self.intra_node_bytes,
+            "inter_node_bytes": self.inter_node_bytes,
+            "inter_node_messages": self.inter_node_messages,
             "retransmits": self.retransmits,
             "retransmit_bytes": self.retransmit_bytes,
             "duplicates_discarded": self.duplicates_discarded,
@@ -124,6 +141,9 @@ class PhaseTraffic:
         for name in (
             "alltoall_rounds",
             "pt2pt_rounds",
+            "intra_node_bytes",
+            "inter_node_bytes",
+            "inter_node_messages",
             "retransmits",
             "retransmit_bytes",
             "duplicates_discarded",
@@ -153,12 +173,38 @@ class TrafficStats:
         self._lock = threading.Lock()
         self._phases: dict[str, PhaseTraffic] = defaultdict(PhaseTraffic)
         self._req_depth: dict[tuple[str, int], int] = {}  # (phase, rank) -> depth
+        # Topology attribution (see configure_topology).  Until a world
+        # configures us, every cross-rank message counts as inter-node
+        # with no header — i.e. inter_node_bytes == offnode_bytes().
+        self._node_map: Any | None = None
+        self._header_bytes = 0
+
+    def configure_topology(self, node_map: Any, header_bytes: int = 0) -> None:
+        """Attach the world's :class:`~repro.simmpi.nodes.NodeMap`.
+
+        Called once by :class:`~repro.simmpi.comm.World` before any
+        traffic flows; *header_bytes* is the modelled per-message fabric
+        envelope charged to ``inter_node_bytes`` (only).
+        """
+        with self._lock:
+            self._node_map = node_map
+            self._header_bytes = int(header_bytes)
 
     def record_message(self, phase: str, src: int, dst: int, nbytes: int) -> None:
         with self._lock:
             ph = self._phases[phase]
             ph.bytes_by_pair[(src, dst)] += int(nbytes)
             ph.messages_by_pair[(src, dst)] += 1
+            same_node = (
+                src == dst
+                if self._node_map is None
+                else self._node_map.same_node(src, dst)
+            )
+            if same_node:
+                ph.intra_node_bytes += int(nbytes)
+            else:
+                ph.inter_node_bytes += int(nbytes) + self._header_bytes
+                ph.inter_node_messages += 1
 
     def record_alltoall(self, phase: str) -> None:
         """Count one all-to-all round (called once per collective, rank 0)."""
@@ -255,6 +301,21 @@ class TrafficStats:
     def total_offnode_bytes(self) -> int:
         with self._lock:
             return sum(p.offnode_bytes() for p in self._phases.values())
+
+    @property
+    def total_intra_node_bytes(self) -> int:
+        with self._lock:
+            return sum(p.intra_node_bytes for p in self._phases.values())
+
+    @property
+    def total_inter_node_bytes(self) -> int:
+        with self._lock:
+            return sum(p.inter_node_bytes for p in self._phases.values())
+
+    @property
+    def total_inter_node_messages(self) -> int:
+        with self._lock:
+            return sum(p.inter_node_messages for p in self._phases.values())
 
     @property
     def alltoall_rounds(self) -> int:

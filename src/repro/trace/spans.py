@@ -36,6 +36,7 @@ operation) and bit-transparent when on: hooks only *read* payload sizes
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -85,11 +86,23 @@ class TraceCostModel:
     delivery_s: float = 1e-7  # receiver-side handoff per message
     barrier_s: float = 5e-6  # synchronisation cost once all ranks arrive
     post_overhead_s: float = 5e-7  # CPU cost of posting one nonblocking send
+    #: Node shape of the traced world (R consecutive ranks per node).
+    #: Same-node messages are shared-memory moves: no NIC serialisation,
+    #: no wire latency — only the delivery handoff.  1 = the historical
+    #: flat replay where every cross-rank message pays wire time.
+    ranks_per_node: int = 1
+    #: Shared-memory handoff per same-node message (zero-copy view pass).
+    intra_node_s: float = 2e-7
 
     def compute_time(self, flops: float, kind: str = "fft") -> float:
         """Seconds to execute *flops* at the node's effective rate."""
         eff = self.conv_efficiency if kind == "conv" else self.fft_efficiency
         return max(float(flops), 0.0) / (self.node.dp_gflops * 1e9 * eff)
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether ranks *a* and *b* share a node under this model."""
+        r = max(int(self.ranks_per_node), 1)
+        return a // r == b // r
 
     def wire_time(self, nbytes: int) -> float:
         """Seconds one message of *nbytes* occupies the injection channel."""
@@ -207,6 +220,7 @@ class TraceRecorder:
         self._send_counts: dict[tuple, int] = defaultdict(int)
         self._recv_counts: dict[tuple, int] = defaultdict(int)
         self._failed_ranks: set[int] = set()
+        self._world_ranks_per_node: int | None = None
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -224,6 +238,11 @@ class TraceRecorder:
                 raise ValueError(
                     "world already has a different TraceRecorder attached"
                 )
+            nodes = getattr(world, "nodes", None)
+            if nodes is not None:
+                # Remember the world's node shape so the default replay
+                # prices same-node messages as shared-memory moves.
+                self._world_ranks_per_node = nodes.ranks_per_node
 
     def new_run(self) -> None:
         """Drop all recorded events (called on SPMD restart attempts so
@@ -379,11 +398,22 @@ class TraceRecorder:
         Deterministic: the result depends only on the recorded event
         lists and the cost model.  Safe to call repeatedly (e.g. with
         different cost models for what-if analysis).
+
+        When the traced world had a node shape (``ranks_per_node > 1``)
+        and the cost model was left at the flat default, the replay
+        inherits the world's shape — same-node messages replay as
+        shared-memory handoffs, so the critical path attributes wire
+        time to inter-node traffic only.  An explicit
+        ``ranks_per_node`` on the cost model always wins (what-if
+        replays on a different shape).
         """
         cost = cost if cost is not None else self.cost
         with self._lock:
             events = {r: list(evs) for r, evs in self._events.items() if evs}
             failed = tuple(sorted(self._failed_ranks))
+            learned = self._world_ranks_per_node
+        if learned is not None and learned > 1 and cost.ranks_per_node == 1:
+            cost = dataclasses.replace(cost, ranks_per_node=learned)
         tl = _replay(events, cost)
         tl.degraded = bool(failed)
         tl.failed_ranks = failed
@@ -443,31 +473,44 @@ def _replay(events: dict[int, list[TraceEvent]], cost: TraceCostModel) -> Virtua
                 dur = cost.compute_time(ev.flops, ev.ckind)
                 s = emit(rank, "compute", ev.name, ev.phase, t, t + dur, flops=ev.flops)
             elif ev.kind == "send":
-                dur = cost.wire_time(ev.nbytes)
+                # Same-node messages are shared-memory moves: no NIC
+                # serialisation, no wire latency — inter-node traffic
+                # alone carries wire time onto the critical path.
+                local = cost.same_node(ev.rank, ev.peer)
+                dur = cost.intra_node_s if local else cost.wire_time(ev.nbytes)
                 s = emit(
                     rank, "send", ev.name, ev.phase, t, t + dur,
                     nbytes=ev.nbytes, peer=ev.peer,
                 )
                 avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
-                    t + dur + cost.latency_s,
+                    t + dur + (0.0 if local else cost.latency_s),
                     s.uid,
                 )
-                nic_free[rank] = t + dur  # a blocking send occupies the NIC too
+                if not local:
+                    nic_free[rank] = t + dur  # a blocking send occupies the NIC too
             elif ev.kind == "isend":
                 # The poster pays only the post overhead; the message then
                 # serialises through the rank's NIC and arrives one wire
                 # time plus latency later — concurrent with later spans.
+                # Same-node posts skip the NIC entirely.
+                local = cost.same_node(ev.rank, ev.peer)
                 s = emit(
                     rank, "isend", ev.name, ev.phase, t, t + cost.post_overhead_s,
                     nbytes=ev.nbytes, peer=ev.peer,
                 )
-                depart = max(s.t1, nic_free[rank])
-                done = depart + cost.wire_time(ev.nbytes)
-                nic_free[rank] = done
-                avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
-                    done + cost.latency_s,
-                    s.uid,
-                )
+                if local:
+                    avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
+                        s.t1 + cost.intra_node_s,
+                        s.uid,
+                    )
+                else:
+                    depart = max(s.t1, nic_free[rank])
+                    done = depart + cost.wire_time(ev.nbytes)
+                    nic_free[rank] = done
+                    avail[(ev.rank, ev.peer, ev.tag, ev.index)] = (
+                        done + cost.latency_s,
+                        s.uid,
+                    )
             elif ev.kind == "retransmit":
                 dur = cost.retransmit_time(ev.nbytes)
                 s = emit(

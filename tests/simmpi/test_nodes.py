@@ -1,0 +1,213 @@
+"""Tests for node topology: :class:`NodeMap`, the zero-copy
+:class:`NodeSharedPool`, the link-pump bypass for same-node traffic,
+and the topology-aware intra/inter split in :class:`TrafficStats`."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    FABRIC_HEADER_BYTES,
+    NodeMap,
+    NodeSharedPool,
+    run_spmd,
+)
+from repro.simmpi.stats import TrafficStats
+
+
+class TestNodeMap:
+    def test_flat_default_every_rank_its_own_node(self):
+        nm = NodeMap(4)
+        assert nm.flat
+        assert nm.nnodes == 4
+        assert nm.same_node(2, 2)
+        assert not nm.same_node(0, 1)
+
+    def test_contiguous_blocks(self):
+        nm = NodeMap(8, 4)
+        assert not nm.flat
+        assert nm.nnodes == 2
+        assert nm.node_of(3) == 0
+        assert nm.node_of(4) == 1
+        assert nm.ranks_on(1) == (4, 5, 6, 7)
+        assert nm.leader_of(1) == 4
+        assert nm.same_node(4, 7)
+        assert not nm.same_node(3, 4)
+
+    def test_ragged_tail_node(self):
+        nm = NodeMap(8, 3)
+        assert nm.nnodes == 3
+        assert nm.ranks_on(2) == (6, 7)
+        assert nm.leader_of(2) == 6
+
+    def test_ranks_per_node_clamped_to_world_size(self):
+        nm = NodeMap(2, 16)
+        assert nm.nnodes == 1
+        assert nm.ranks_on(0) == (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeMap(0)
+        with pytest.raises(ValueError):
+            NodeMap(4, 0)
+        with pytest.raises(ValueError):
+            NodeMap(4, 2).node_of(4)
+        with pytest.raises(ValueError):
+            NodeMap(4, 2).ranks_on(2)
+
+    def test_as_dict(self):
+        assert NodeMap(8, 4).as_dict() == {
+            "nranks": 8,
+            "ranks_per_node": 4,
+            "nnodes": 2,
+        }
+
+
+class TestNodeSharedPool:
+    def test_stage_returns_zero_copy_view(self):
+        pool = NodeSharedPool(NodeMap(4, 2))
+        arr = np.arange(8.0)
+        got = pool.stage(0, 1, arr)
+        assert got is not arr
+        assert np.shares_memory(got, arr)
+        np.testing.assert_array_equal(got, arr)
+        assert pool.transfers(0) == 1
+        assert pool.bytes_staged(0) == arr.nbytes
+
+    def test_self_send_and_non_ndarray_pass_through_unmetered(self):
+        pool = NodeSharedPool(NodeMap(4, 2))
+        arr = np.arange(4.0)
+        assert pool.stage(1, 1, arr) is arr
+        obj = {"k": 1}
+        assert pool.stage(0, 1, obj) is obj
+        assert pool.transfers() == 0
+        assert pool.bytes_staged() == 0
+
+    def test_per_node_counters(self):
+        pool = NodeSharedPool(NodeMap(4, 2))
+        pool.stage(0, 1, np.zeros(2))
+        pool.stage(2, 3, np.zeros(4))
+        assert pool.transfers(0) == 1
+        assert pool.transfers(1) == 1
+        assert pool.bytes_staged(1) == 32
+        assert pool.as_dict() == {
+            "transfers": {0: 1, 1: 1},
+            "bytes": {0: 16, 1: 32},
+        }
+
+    def test_live_registry_does_not_extend_payload_lifetime(self):
+        pool = NodeSharedPool(NodeMap(2, 2))
+        arr = np.arange(16.0)
+        pool.stage(0, 1, arr)
+        assert pool.live_buffers(0) == 1
+        del arr
+        assert pool.live_buffers(0) == 0
+
+
+class TestSameNodeTransferPath:
+    def test_same_node_recv_shares_the_senders_buffer(self):
+        def body(comm):
+            if comm.rank == 0:
+                arr = np.arange(32.0)
+                comm.send(arr, dest=1)
+                return arr
+            return comm.recv(source=0)
+
+        res = run_spmd(2, body, ranks_per_node=2)
+        assert np.shares_memory(res.values[0], res.values[1])
+
+    def test_cross_node_recv_does_not_share_memory_under_link(self):
+        # With a link model the pump serialises cross-node messages;
+        # either way the payload must arrive intact.
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(32.0), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        res = run_spmd(2, body, ranks_per_node=1)
+        np.testing.assert_array_equal(res.values[1], np.arange(32.0))
+
+    def test_same_node_bytes_are_intra_node_not_fabric(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)  # 80 payload bytes
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(2, body, ranks_per_node=2)
+        assert res.stats.total_intra_node_bytes == 80
+        assert res.stats.total_inter_node_bytes == 0
+        assert res.stats.total_inter_node_messages == 0
+
+    def test_cross_node_bytes_charged_with_fabric_header(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(2, body, ranks_per_node=1)
+        assert res.stats.total_intra_node_bytes == 0
+        assert res.stats.total_inter_node_bytes == 80 + FABRIC_HEADER_BYTES
+        assert res.stats.total_inter_node_messages == 1
+        # The header is a counter-only charge: payload accounting is
+        # unchanged from the flat world.
+        assert res.stats.phase("default").bytes_by_pair[(0, 1)] == 80
+
+    def test_same_node_bypass_works_under_link_model(self):
+        # Same-node messages must not wait behind the pump's modelled
+        # wire time even when a (slow) link model is configured.
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(64.0), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        res = run_spmd(
+            2, body, ranks_per_node=2,
+            link_bandwidth=1e6, link_latency=1e-3,
+        )
+        np.testing.assert_array_equal(res.values[1], np.arange(64.0))
+        assert res.stats.total_inter_node_bytes == 0
+
+
+class TestStatsTopologyRoundTrip:
+    def test_as_dict_from_dict_preserves_node_counters(self):
+        def body(comm):
+            objs = [np.full(8, comm.rank, dtype=np.complex128) for _ in range(4)]
+            comm.alltoall(objs)
+
+        res = run_spmd(4, body, ranks_per_node=2)
+        st = res.stats
+        assert st.total_intra_node_bytes > 0
+        assert st.total_inter_node_bytes > 0
+        clone = TrafficStats.from_dict(st.as_dict())
+        assert clone.total_intra_node_bytes == st.total_intra_node_bytes
+        assert clone.total_inter_node_bytes == st.total_inter_node_bytes
+        assert clone.total_inter_node_messages == st.total_inter_node_messages
+        ph, ph2 = st.phase("default"), clone.phase("default")
+        assert ph2.intra_node_bytes == ph.intra_node_bytes
+        assert ph2.inter_node_bytes == ph.inter_node_bytes
+        assert ph2.inter_node_messages == ph.inter_node_messages
+
+    def test_nonblocking_path_attributes_same_node_consistently(self):
+        # isend/irecv between same-node ranks must charge intra-node
+        # bytes exactly like the blocking path.
+        def blocking(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(16), dest=1)
+            else:
+                comm.recv(source=0)
+
+        def nonblocking(comm):
+            if comm.rank == 0:
+                comm.isend(np.zeros(16), dest=1).wait()
+            else:
+                comm.irecv(source=0).wait()
+
+        a = run_spmd(2, blocking, ranks_per_node=2).stats
+        b = run_spmd(2, nonblocking, ranks_per_node=2).stats
+        assert (
+            b.total_intra_node_bytes == a.total_intra_node_bytes == 128
+        )
+        assert b.total_inter_node_bytes == a.total_inter_node_bytes == 0

@@ -57,6 +57,7 @@ class TestCli:
             "bench-overlap",
             "bench-resilience",
             "bench-serve",
+            "bench-a2a",
             "serve",
             "check",
             "fig5",
