@@ -501,6 +501,59 @@ def _bench_a2a(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _bench_scale(args: argparse.Namespace) -> dict:
+    """DES weak-scaling sweep to thousand-rank SOI; writes BENCH_PR9.json."""
+    from .bench import format_table, run_scale_bench
+
+    payload = run_scale_bench(
+        quick=getattr(args, "bench_quick", False),
+        reps=getattr(args, "bench_reps", None),
+    )
+    rows = []
+    for run in payload["runs"]:
+        t = run["traffic"]
+        rows.append([
+            run["nranks"],
+            f"{run['nodes']}x{run['ranks_per_node']}",
+            f"{run['cold_wall_s']:.2f}",
+            f"{run['steady_wall_s']:.2f}",
+            f"{run['virtual_time_s'] * 1e3:.2f}",
+            f"{t['inter_node_messages']} ({'ok' if t['messages_match_model'] else 'MISMATCH'})",
+            f"{t['inter_node_bytes']} ({'ok' if t['bytes_match_model'] else 'MISMATCH'})",
+        ])
+    print(
+        format_table(
+            ["P", "shape", "cold s", "steady s", "virtual ms",
+             "inter msgs", "inter bytes"],
+            rows,
+            title=(
+                "bench-scale — executed SOI on the DES engine, hierarchical "
+                "all-to-all, traffic vs the Section 7.4 model"
+            ),
+        )
+    )
+    anchor = payload["engine_anchor"]
+    print(
+        f"  engine anchor P={anchor['nranks']}: DES == threads bitwise "
+        f"{anchor['bitwise_equal']}, stats equal {anchor['stats_equal']}, "
+        f"wall ratio {anchor['des_over_thread_wall_ratio']:.2f}x"
+    )
+    head = payload["headline"]
+    print(
+        f"  headline: {head['name']} — cold {head['cold_wall_s']:.2f}s, "
+        f"steady {head['steady_wall_s']:.2f}s, virtual "
+        f"{head['virtual_time_s'] * 1e3:.2f}ms; traffic matches model at "
+        f"every point: {head['traffic_matches_model_all_points']}"
+    )
+    out = getattr(args, "bench_out", None) or "BENCH_PR9.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print()
+    return payload
+
+
 def _serve(args: argparse.Namespace) -> dict:
     """Demo the transform service: mixed load, then the SLO report."""
     import threading
@@ -733,6 +786,7 @@ SECTIONS = {
     "bench-resilience": _bench_resilience,
     "bench-serve": _bench_serve,
     "bench-a2a": _bench_a2a,
+    "bench-scale": _bench_scale,
     "serve": _serve,
     "check": _check,
 }
@@ -768,7 +822,7 @@ def main(argv: list[str] | None = None) -> int:
         help="bench sections: output JSON path (default BENCH_PR3.json for "
         "bench-micro, BENCH_PR5.json for bench-overlap, BENCH_PR6.json for "
         "bench-resilience, BENCH_PR7.json for bench-serve, BENCH_PR8.json "
-        "for bench-a2a)",
+        "for bench-a2a, BENCH_PR9.json for bench-scale)",
     )
     parser.add_argument(
         "--bench-quick",

@@ -922,9 +922,180 @@ def _a2a_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
         )
 
 
+def _des_rows(report: ConformanceReport, n: int, transpose_n: int) -> None:
+    """Discrete-event engine differential layer (PR 9).
+
+    The DES engine replaces OS threads with one deterministic virtual-
+    time scheduler behind the *same* ``Communicator`` API, so every row
+    here is zero-tolerance: a run under ``engine="des"`` must produce
+    bitwise-identical outputs AND byte-identical per-phase traffic
+    accounting (pair maps, intra/inter-node counters, rounds — the full
+    :meth:`TrafficStats.as_dict`) to the thread engine, for every
+    all-to-all schedule and for the ``verify=``/``trace=``/``overlap=``
+    compositions.  The trace row additionally requires the per-rank
+    span *structure* to match event-for-event: the two engines may
+    interleave ranks differently in wall time, but each rank's logical
+    timeline is pinned.
+    """
+    import json
+
+    plan = SoiPlan(n=n, p=_DIST_P)
+    x = _signal(f"dist.soi[{n}]", n)  # same signal family as _dist_rows
+    blocks = split_blocks(x, _DIST_RANKS)
+    rpn = 2  # 4 ranks as 2 nodes x 2 ranks: exercises the node-aware paths
+
+    def _stats_bytes(stats) -> np.ndarray:
+        payload = json.dumps(stats.as_dict(), sort_keys=True).encode()
+        return np.frombuffer(payload, dtype=np.uint8)
+
+    def _with_stats(out: np.ndarray, res) -> np.ndarray:
+        """Outputs and the full traffic accounting as one byte row."""
+        return np.concatenate(
+            [np.ascontiguousarray(out).view(np.uint8), _stats_bytes(res.stats)]
+        )
+
+    def soi(engine, algorithm=None, fn=soi_fft_distributed, **kwargs):
+        res = run_spmd(
+            _DIST_RANKS,
+            lambda comm: fn(
+                comm, blocks[comm.rank], plan,
+                alltoall_algorithm=algorithm, **kwargs,
+            ),
+            ranks_per_node=rpn,
+            engine=engine,
+        )
+        return np.concatenate(res.values), res
+
+    # -- SOI forward: every schedule, outputs + stats ------------------
+    for algorithm in ("pairwise", "bruck", "hierarchical"):
+        def pair(algorithm=algorithm):
+            got, rd = soi("des", algorithm)
+            ref, rt = soi("thread", algorithm)
+            return _with_stats(got, rd), _with_stats(ref, rt)
+
+        _bitwise_row(
+            report, f"soi_fft[des==thread,{algorithm},rpn={rpn}][n={n}]",
+            "des", n, pair,
+            detail="bitwise outputs + byte-identical TrafficStats across engines",
+        )
+
+    # -- compositions: verify=, overlap= -------------------------------
+    def verified():
+        got, rd = soi("des", "hierarchical", verify=True)
+        ref, rt = soi("thread", "hierarchical", verify=True)
+        return _with_stats(got, rd), _with_stats(ref, rt)
+
+    _bitwise_row(
+        report, f"soi_fft[des==thread,hierarchical,verify=True][n={n}]",
+        "des", n, verified,
+        detail="CRC verification traffic is engine-invariant",
+    )
+
+    def overlapped():
+        got, rd = soi("des", overlap=True)
+        ref, rt = soi("thread", overlap=True)
+        return _with_stats(got, rd), _with_stats(ref, rt)
+
+    _bitwise_row(
+        report, f"soi_fft[des==thread,overlap=True][n={n}]",
+        "des", n, overlapped,
+        detail="nonblocking overlap pipeline is engine-invariant",
+    )
+
+    # -- trace=: per-rank span structure is pinned event-for-event -----
+    def _trace_struct(rec: TraceRecorder) -> dict:
+        return {
+            str(rank): [
+                [ev.kind, ev.phase, ev.name, ev.peer, repr(ev.tag),
+                 ev.index, ev.nbytes, ev.flops, ev.ckind]
+                for ev in events
+            ]
+            for rank, events in sorted(rec._events.items())
+        }
+
+    def traced():
+        rec_d, rec_t = TraceRecorder(), TraceRecorder()
+        got, _ = soi("des", "hierarchical", trace=rec_d)
+        ref, _ = soi("thread", "hierarchical", trace=rec_t)
+        if rec_d.nevents == 0:
+            raise RuntimeError("DES trace recorder captured no events")
+        sd = json.dumps(_trace_struct(rec_d), sort_keys=True).encode()
+        st = json.dumps(_trace_struct(rec_t), sort_keys=True).encode()
+        return (
+            np.concatenate([np.ascontiguousarray(got).view(np.uint8),
+                            np.frombuffer(sd, dtype=np.uint8)]),
+            np.concatenate([np.ascontiguousarray(ref).view(np.uint8),
+                            np.frombuffer(st, dtype=np.uint8)]),
+        )
+
+    _bitwise_row(
+        report, f"soi_fft[des==thread,hierarchical,trace=][n={n}]",
+        "des", n, traced,
+        detail="per-rank logical timelines match event-for-event",
+    )
+
+    # -- SOI inverse ---------------------------------------------------
+    def inverse():
+        got, rd = soi("des", "hierarchical", fn=soi_ifft_distributed)
+        ref, rt = soi("thread", "hierarchical", fn=soi_ifft_distributed)
+        return _with_stats(got, rd), _with_stats(ref, rt)
+
+    _bitwise_row(
+        report, f"soi_ifft[des==thread,hierarchical,rpn={rpn}][n={n}]",
+        "des", n, inverse,
+        detail="inverse transform is engine-invariant too",
+    )
+
+    # -- six-step transpose: every schedule ----------------------------
+    xt = _signal(f"dist.transpose[{transpose_n}]", transpose_n)
+    tblocks = split_blocks(xt, _DIST_RANKS)
+
+    def transpose(engine, algorithm):
+        res = run_spmd(
+            _DIST_RANKS,
+            lambda comm: transpose_fft_distributed(
+                comm, tblocks[comm.rank], transpose_n,
+                alltoall_algorithm=algorithm,
+            ),
+            ranks_per_node=rpn,
+            engine=engine,
+        )
+        return np.concatenate(res.values), res
+
+    for algorithm in ("pairwise", "bruck", "hierarchical"):
+        def tpair(algorithm=algorithm):
+            got, rd = transpose("des", algorithm)
+            ref, rt = transpose("thread", algorithm)
+            return _with_stats(got, rd), _with_stats(ref, rt)
+
+        _bitwise_row(
+            report,
+            f"transpose_fft[des==thread,{algorithm},rpn={rpn}][n={transpose_n}]",
+            "des", transpose_n, tpair,
+            detail="three-transpose six-step pipeline is engine-invariant",
+        )
+
+    # -- determinism: a DES run is a pure function of its inputs -------
+    def deterministic():
+        got1, r1 = soi("des", "hierarchical")
+        got2, r2 = soi("des", "hierarchical")
+        if r1.virtual_time_s != r2.virtual_time_s or not r1.virtual_time_s > 0:
+            raise RuntimeError(
+                f"virtual time not reproducible: "
+                f"{r1.virtual_time_s} vs {r2.virtual_time_s}"
+            )
+        return _with_stats(got1, r1), _with_stats(got2, r2)
+
+    _bitwise_row(
+        report, f"soi_fft[des,repeat==repeat][n={n}]", "des", n, deterministic,
+        detail="identical outputs, stats and virtual makespan across repeats",
+    )
+
+
 #: Row-builder groups selectable via ``run_conformance(groups=...)``.
 CONFORMANCE_GROUPS = (
     "dft", "nufft", "soi", "soi-edge", "dist", "resilience", "serve", "a2a",
+    "des",
 )
 
 
@@ -972,4 +1143,6 @@ def run_conformance(
         _serve_rows(report, cfg["serve_n"])
     if "a2a" in want:
         _a2a_rows(report, cfg["dist_n"], cfg["transpose_n"])
+    if "des" in want:
+        _des_rows(report, cfg["dist_n"], cfg["transpose_n"])
     return report

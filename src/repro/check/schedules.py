@@ -384,6 +384,7 @@ def fuzz_distributed_soi(
     overlap_groups: int = 2,
     compare_traces: bool | None = None,
     controller_kwargs: dict | None = None,
+    run_kwargs: dict | None = None,
 ) -> FuzzReport:
     """Fuzz the distributed SOI FFT — the repo's flagship determinism claim.
 
@@ -399,6 +400,12 @@ def fuzz_distributed_soi(
     program's observation points — faithfully reflects that order, so
     traced span structure is a function of the schedule by design (pass
     ``compare_traces=True`` to override and see exactly that).
+
+    *run_kwargs* forwards to :func:`~repro.simmpi.run_spmd` for both
+    the reference and every replay — e.g. ``{"engine": "des"}`` fuzzes
+    the discrete-event scheduler's permuted message releases, or
+    ``{"ranks_per_node": 2, "alltoall_algorithm": "hierarchical"}``
+    fuzzes the node-aware schedule.
     """
     from ..core.plan import soi_plan_for
     from ..parallel.soi_dist import soi_fft_distributed
@@ -430,4 +437,5 @@ def fuzz_distributed_soi(
         seed=seed,
         compare_traces=compare_traces,
         controller_kwargs=controller_kwargs,
+        run_kwargs=run_kwargs,
     )

@@ -28,6 +28,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from ..exectx import execution_context
 from ..utils import as_fraction, check_positive_int, require
 from .design import WindowDesign, design_window, preset_design
 from .windows import ReferenceWindow, window_from_spec
@@ -135,8 +136,10 @@ class SoiPlan:
         self._workspace_lock = threading.Lock()
         self._conv_paths: dict[tuple[int, ...], list] = {}
         self._segment_phases: dict[int, np.ndarray] = {}
-        # Per-thread extended-input buffers (simmpi ranks are threads
-        # sharing one cached plan, so these cannot be plain attributes).
+        # Per-execution-context extended-input buffers (simmpi ranks
+        # share one cached plan, so these cannot be plain attributes;
+        # DES ranks additionally share OS threads, so the slot is
+        # revalidated against repro.exectx.execution_context()).
         self._tls = threading.local()
 
     # ------------------------------------------------------------------
@@ -285,9 +288,16 @@ class SoiPlan:
         bit-for-bit unchanged.
         """
         total = vec.size + tail.size
-        pool = getattr(self._tls, "xe", None)
-        if pool is None:
-            pool = self._tls.xe = {}
+        ctx = execution_context()
+        entry = getattr(self._tls, "xe", None)
+        if entry is None or entry[0] != ctx:
+            # Revalidate against the execution context, not the OS
+            # thread: the DES engine recycles a finished rank's thread
+            # for a later rank, and the returned view aliases this
+            # buffer — a thread-keyed pool would let rank N+1 scribble
+            # over a buffer rank N's view still points into.
+            entry = self._tls.xe = (ctx, {})
+        pool = entry[1]
         buf = pool.get(total)
         if buf is None:
             buf = pool[total] = np.empty(total, dtype=np.complex128)

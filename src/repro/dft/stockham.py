@@ -31,6 +31,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..exectx import execution_context
 from .twiddle import twiddles
 
 __all__ = [
@@ -59,12 +60,33 @@ _tile_lock = threading.Lock()
 # Ping-pong scratch reuse: the kernel's two stage buffers plus the
 # twiddle-product temporary are fully overwritten every stage, so they
 # can be recycled across calls of the same (n, nb) — repeated same-size
-# transforms (the plan-cache hit path) then allocate nothing.  Buffers
-# are thread-local because simmpi ranks are threads running concurrent
-# transforms; each thread keeps a tiny LRU of recent problem sizes.
-_SCRATCH_PER_THREAD = 4
+# transforms (the plan-cache hit path) then allocate nothing.  Pools are
+# keyed on :func:`repro.exectx.execution_context` — NOT the OS thread —
+# because the DES engine recycles a finished rank's thread as the vessel
+# for a later rank: a thread-keyed pool would silently hand one rank's
+# scratch to another, breaking rank isolation (plain threads degrade to
+# per-thread keys, exactly the old behaviour).  Each context keeps a
+# tiny LRU of recent problem sizes.
+_SCRATCH_PER_CONTEXT = 4
 _SCRATCH_MAX_ELEMENTS = 1 << 18  # ~10 MiB per pooled entry; beyond that, allocate
 _scratch_tls = threading.local()
+
+
+def _scratch_pool() -> OrderedDict:
+    """The calling execution context's scratch LRU.
+
+    Lock-free: a context runs on exactly one OS thread for its whole
+    life, so a thread-local ``(ctx, pool)`` slot revalidated against the
+    current context is private — and a recycled vessel's next rank fails
+    the check and starts fresh rather than inheriting buffers.
+    """
+    ctx = execution_context()
+    entry = getattr(_scratch_tls, "entry", None)
+    if entry is not None and entry[0] == ctx:
+        return entry[1]
+    pool: OrderedDict = OrderedDict()
+    _scratch_tls.entry = (ctx, pool)
+    return pool
 
 
 def _scratch_buffers(total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -75,9 +97,7 @@ def _scratch_buffers(total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             np.empty(total, dtype=np.complex128),
             np.empty(total // 2, dtype=np.complex128),
         )
-    pool = getattr(_scratch_tls, "pool", None)
-    if pool is None:
-        pool = _scratch_tls.pool = OrderedDict()
+    pool = _scratch_pool()
     bufs = pool.get(total)
     if bufs is None:
         bufs = (
@@ -86,7 +106,7 @@ def _scratch_buffers(total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             np.empty(total // 2, dtype=np.complex128),
         )
         pool[total] = bufs
-        while len(pool) > _SCRATCH_PER_THREAD:
+        while len(pool) > _SCRATCH_PER_CONTEXT:
             pool.popitem(last=False)
     else:
         pool.move_to_end(total)

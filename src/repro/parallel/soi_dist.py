@@ -256,18 +256,25 @@ def soi_fft_distributed(
         # Zero-copy packing: rank d owns segments [d*S, (d+1)*S), which
         # are contiguous row blocks of the transposed transform — one
         # reshape yields every destination slice as a view.
-        sendbufs = list(v_t.reshape(comm.size, s_per, -1))
+        sendbuf3 = v_t.reshape(comm.size, s_per, -1)
         if verify:
             pieces = verified_alltoall(
-                comm, sendbufs, rounds=verify_rounds,
+                comm, list(sendbuf3), rounds=verify_rounds,
                 algorithm=alltoall_algorithm,
             )
+            mat = np.stack(pieces)
         else:
-            pieces = comm.alltoall(sendbufs, algorithm=alltoall_algorithm)
-    # pieces[src] is (S, rows_per_rank): my segments, src's row range.
+            # Matrix form: the packed sendbuf is already one contiguous
+            # (P, S, rows) array, so the exchange moves whole-node row
+            # batches instead of P² block objects (same bytes, same
+            # messages, bitwise-identical rows — see exchange_matrix).
+            mat = comm.alltoall_matrix(sendbuf3, algorithm=alltoall_algorithm)
+    # mat[src] is (S, rows_per_rank): my segments, src's row range.
 
     # -- 5. segment FFTs + demodulation (in-order output). ----------------
-    segs = np.concatenate(pieces, axis=1)  # (S, M'), rows in src order
+    # (S, M'), rows in src order — identical element order to
+    # np.concatenate(list(mat), axis=1).
+    segs = np.ascontiguousarray(mat.transpose(1, 0, 2)).reshape(s_per, -1)
     yt = be.fft(segs)
     comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
     y_local = yt[:, : plan.m] * plan.demod_recip[None, :]

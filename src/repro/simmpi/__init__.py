@@ -47,6 +47,7 @@ from .errors import (
     SpmdError,
     VerificationError,
 )
+from .des import DesScheduler, DesWorld
 from .faults import FAULT_KINDS, ChaosSchedule, FaultPlan, FaultSpec
 from .nodes import FABRIC_HEADER_BYTES, NodeMap, NodeSharedPool
 from .runtime import SpmdResult, run_spmd
@@ -60,6 +61,8 @@ __all__ = [
     "ShrunkCommunicator",
     "SubCommunicator",
     "World",
+    "DesScheduler",
+    "DesWorld",
     "FABRIC_HEADER_BYTES",
     "NodeMap",
     "NodeSharedPool",

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Sequence
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .comm import Communicator
 
@@ -53,6 +55,7 @@ __all__ = [
     "ALGORITHMS",
     "resolve_algorithm",
     "exchange",
+    "exchange_matrix",
     "predicted_inter_node_messages",
 ]
 
@@ -146,6 +149,35 @@ def exchange(
         if algorithm == "hierarchical":
             return _hierarchical(comm, objs, timeout)
         raise ValueError(f"exchange() does not dispatch {algorithm!r}")
+
+
+def exchange_matrix(
+    comm: "Communicator",
+    buf: np.ndarray,
+    timeout: float | None = None,
+) -> np.ndarray:
+    """Hierarchical all-to-all over one ``(P, ...)`` array (row d → rank d).
+
+    The array-native twin of ``exchange(..., "hierarchical")``: the same
+    schedule, tags, message counts and byte totals (a concatenated row
+    batch carries exactly the bytes of its blocks, and
+    ``_payload_bytes`` is a pure sum), but every hop moves a single
+    contiguous ndarray instead of a Python list of P block objects.
+    Per-rank object traffic drops from O(P) to O(nodes + ranks/node),
+    which is what makes 4096-rank exchanges tractable.  Returns a
+    ``(P, ...)`` array whose row s is the block from rank s — bitwise
+    ``np.stack`` of the list form.
+    """
+    from .comm import _payload_bytes
+
+    if comm.rank == 0:
+        comm.stats.record_alltoall(comm._phase)
+    with comm._traced_collective("alltoall"):
+        wr = comm.world_rank
+        comm.stats.record_message(
+            comm._phase, wr, wr, _payload_bytes(buf[comm.rank])
+        )
+        return _hierarchical_matrix(comm, buf, timeout)
 
 
 def _bruck(
@@ -256,6 +288,115 @@ def _hierarchical(
             for gi in remote_gis:
                 for src in groups[gi]:
                     out[src] = next(it)
+
+    # 5. drain the direct same-node blocks (sent in step 1 by everyone).
+    for src in my_group:
+        if src != rank:
+            out[src] = comm._collective_recv(
+                src, HIER_LOCAL_TAG, timeout, "alltoall(hierarchical local)"
+            )
+    return out
+
+
+def _hierarchical_matrix(
+    comm: "Communicator", buf: np.ndarray, timeout: float | None
+) -> np.ndarray:
+    """Array-native ``_hierarchical``: identical hops, ndarray payloads.
+
+    Every message mirrors the list schedule's (src, dst, tag, bytes)
+    exactly; only the payload container changes.  Row batches keep the
+    list path's element order — gather messages are ``[rows for one
+    remote node, ...]`` in remote-node order, exchange messages
+    concatenate contributor-major (``si * nlocal + di`` indexing holds
+    as a stride), scatter messages concatenate remote-node-major — so
+    unpacking is pure slicing and the result is bitwise identical.
+    """
+    p, rank = comm.size, comm.rank
+    groups = comm.node_groups()
+    my_gi = next(gi for gi, g in enumerate(groups) if rank in g)
+    my_group = groups[my_gi]
+    leader = my_group[0]
+    nlocal = len(my_group)
+    out = np.empty_like(buf)
+    out[rank] = buf[rank]
+
+    # Base communicators have contiguous node groups, so per-group row
+    # batches are zero-copy slices; sub-communicator groups can be
+    # scattered in local rank space and fall back to fancy indexing.
+    spans = [
+        (g[0], g[-1] + 1) if g[-1] - g[0] + 1 == len(g) else None for g in groups
+    ]
+    tiled = (
+        all(s is not None for s in spans)
+        and spans[0][0] == 0
+        and spans[-1][1] == p
+        and all(spans[i][1] == spans[i + 1][0] for i in range(len(spans) - 1))
+    )
+
+    def rows(arr: np.ndarray, gi: int) -> np.ndarray:
+        s = spans[gi]
+        return arr[s[0] : s[1]] if s is not None else arr[np.asarray(groups[gi])]
+
+    # 1. same-node blocks travel directly (zero-copy pool, no leader hop).
+    for dst in my_group:
+        if dst != rank:
+            comm.send(buf[dst], dst, tag=HIER_LOCAL_TAG)
+
+    remote_gis = [gi for gi in range(len(groups)) if gi != my_gi]
+    if remote_gis:
+        # contrib[pos]: my rows for groups[remote_gis[pos]], dest order.
+        contrib = [rows(buf, gi) for gi in remote_gis]
+        if rank == leader:
+            per_member = {rank: contrib}
+            for m in my_group[1:]:
+                per_member[m] = comm._collective_recv(
+                    m, HIER_GATHER_TAG, timeout, "alltoall(hierarchical gather)"
+                )
+            for pos, gi in enumerate(remote_gis):
+                flat = np.concatenate(
+                    [per_member[src][pos] for src in my_group], axis=0
+                )
+                comm.send(flat, groups[gi][0], tag=HIER_EXCHANGE_TAG)
+            inbound: dict[int, np.ndarray] = {}
+            for gi in remote_gis:
+                inbound[gi] = comm._collective_recv(
+                    groups[gi][0],
+                    HIER_EXCHANGE_TAG,
+                    timeout,
+                    "alltoall(hierarchical exchange)",
+                )
+            # inbound[gi] row si * nlocal + di = block(groups[gi][si] ->
+            # my_group[di]); member di's rows are the stride-nlocal slice.
+            for di, m in enumerate(my_group):
+                if m == rank:
+                    for gi in remote_gis:
+                        s = spans[gi]
+                        if s is not None:
+                            out[s[0] : s[1]] = inbound[gi][di::nlocal]
+                        else:
+                            out[np.asarray(groups[gi])] = inbound[gi][di::nlocal]
+                else:
+                    comm.send(
+                        np.concatenate(
+                            [inbound[gi][di::nlocal] for gi in remote_gis],
+                            axis=0,
+                        ),
+                        m,
+                        tag=HIER_SCATTER_TAG,
+                    )
+        else:
+            comm.send(contrib, leader, tag=HIER_GATHER_TAG)
+            blocks = comm._collective_recv(
+                leader, HIER_SCATTER_TAG, timeout, "alltoall(hierarchical scatter)"
+            )
+            if tiled:
+                # Remote rows tile [0, g0) ++ [g1, P) in source order.
+                g0, g1 = my_group[0], my_group[-1] + 1
+                out[:g0] = blocks[:g0]
+                out[g1:] = blocks[g0:]
+            else:
+                srcs = np.asarray([s for gi in remote_gis for s in groups[gi]])
+                out[srcs] = blocks
 
     # 5. drain the direct same-node blocks (sent in step 1 by everyone).
     for src in my_group:

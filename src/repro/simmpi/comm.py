@@ -59,6 +59,7 @@ Nonblocking layer (MPI's request model, used by the pipelined SOI path):
 from __future__ import annotations
 
 import heapq
+import itertools
 import threading
 import time
 import zlib
@@ -99,6 +100,9 @@ __all__ = [
 _DEFAULT_TIMEOUT = 120.0
 
 _TIMEOUT = object()  # sentinel: channel wait elapsed
+
+# Per-World ordinals for execution-context identity (repro.exectx).
+_WORLD_TOKENS = itertools.count()
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -273,6 +277,11 @@ class World:
             )
         self.nranks = nranks
         self.timeout = timeout
+        # Process-unique ordinal: (ctx_token, rank) identifies one logical
+        # rank of one world, regardless of which OS thread hosts it (the
+        # DES backend recycles vessel threads across ranks; the serve
+        # layer runs concurrent worlds).  See repro.exectx.
+        self.ctx_token = next(_WORLD_TOKENS)
         # Node topology: ranks_per_node=None keeps the historical flat
         # world (every rank its own node).  Same-node messages bypass the
         # link pump and ride the shared pool; TrafficStats splits bytes
@@ -326,6 +335,41 @@ class World:
         if link_latency_s > 0.0 or link_bandwidth is not None:
             self._pump = _LinkPump(self, link_latency_s, link_bandwidth)
 
+    # ---- engine seams (overridden by the discrete-event backend) ---------
+
+    #: Whether this world runs on virtual time (True on DesWorld).  The
+    #: discrete-event backend advances per-rank clocks from the trace
+    #: cost model; the thread backend reads the wall clock.
+    virtual_time = False
+
+    def clock(self) -> float:
+        """The calling rank's notion of "now", in seconds.
+
+        Thread backend: the process monotonic clock (all ranks share
+        it).  DES backend: the calling rank's virtual clock.  Every
+        deadline in the blocking primitives is expressed on this clock,
+        which is what lets one timeout implementation serve both
+        engines.
+        """
+        return time.monotonic()
+
+    def advance_compute(self, rank: int, flops: float, kind: str) -> None:
+        """Advance *rank*'s clock by a modelled compute span (DES only)."""
+
+    def _await_activity(self, rank: int, ticks: int, remaining: float) -> None:
+        """Block *rank* until world activity moves past *ticks*.
+
+        One idle step of a request wait loop: returns (possibly
+        spuriously) whenever anything that could complete a request may
+        have happened, or after at most *remaining* seconds on
+        :meth:`clock`.  The thread backend sleeps on the world condition
+        variable (capped, because ticks can race the snapshot); the DES
+        backend parks the rank's fiber until an event involving it.
+        """
+        with self._cv:
+            if self._activity == ticks:
+                self._cv.wait(min(remaining, 0.1))
+
     # ---- channel primitives (condition-based, no polling) ----------------
 
     def channel(self, src: int, dst: int, tag: Any) -> deque:
@@ -346,17 +390,21 @@ class World:
     def _arrive(self, key: tuple, item: Any) -> None:
         """Final delivery into the channel (scheduler-aware, takes ``_cv``)."""
         with self._cv:
-            if self.scheduler is not None:
-                # The controller may deliver now or hold the message for a
-                # later, permuted release (on_wait below guarantees any
-                # blocked receiver eventually drains its held messages).
-                self.scheduler.on_put(self, key, item)
-            else:
-                self._deliver(key, item)
-            # Unconditional: even a held message must wake receivers so
-            # their wait loop reaches the scheduler's release hook.
-            self._activity += 1
-            self._cv.notify_all()
+            self._arrive_locked(key, item)
+
+    def _arrive_locked(self, key: tuple, item: Any) -> None:
+        """Deliver under ``_cv`` (callers that already hold it skip a trip)."""
+        if self.scheduler is not None:
+            # The controller may deliver now or hold the message for a
+            # later, permuted release (on_wait below guarantees any
+            # blocked receiver eventually drains its held messages).
+            self.scheduler.on_put(self, key, item)
+        else:
+            self._deliver(key, item)
+        # Unconditional: even a held message must wake receivers so
+        # their wait loop reaches the scheduler's release hook.
+        self._activity += 1
+        self._cv.notify_all()
 
     def _put(self, key: tuple, item: Any) -> None:
         src, dst = key[0], key[1]
@@ -424,31 +472,44 @@ class World:
         """
         with self._cv:
             while True:
-                if self.abort_event.is_set():
-                    raise SimMpiError("aborted: another rank failed")
-                ch = self._channels.get(key)
-                if ch is None:
-                    ch = self._channels[key] = deque()
-                if ch:
-                    item = ch.popleft()
-                    self._note_consumed_locked(key)
+                found, item = self._poll_channel_locked(key, fail_dead)
+                if found:
                     return item
-                if self.scheduler is not None and self.scheduler.on_wait(self, key):
-                    continue  # the controller released a held message for us
-                if (
-                    fail_dead
-                    and self._failed
-                    and key[0] in self._failed
-                    and key[0] != key[1]
-                    and self._quiet_locked(key)
-                ):
-                    raise RankFailedError(
-                        (key[0],), where=f"recv into rank {key[1]} (tag={key[2]})"
-                    )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return _TIMEOUT
                 self._cv.wait(remaining)
+
+    def _poll_channel_locked(self, key: tuple, fail_dead: bool) -> tuple[bool, Any]:
+        """One non-waiting attempt to pop from *key*: ``(found, item)``.
+
+        Caller holds ``_cv``.  Shared by both engines' ``_get``: runs
+        the scheduler's held-message release hook, raises on abort, and
+        raises :class:`RankFailedError` for a quiet dead source.
+        """
+        while True:
+            if self.abort_event.is_set():
+                raise SimMpiError("aborted: another rank failed")
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = self._channels[key] = deque()
+            if ch:
+                item = ch.popleft()
+                self._note_consumed_locked(key)
+                return True, item
+            if self.scheduler is not None and self.scheduler.on_wait(self, key):
+                continue  # the controller released a held message for us
+            if (
+                fail_dead
+                and self._failed
+                and key[0] in self._failed
+                and key[0] != key[1]
+                and self._quiet_locked(key)
+            ):
+                raise RankFailedError(
+                    (key[0],), where=f"recv into rank {key[1]} (tag={key[2]})"
+                )
+            return False, None
 
     def _note_consumed_locked(self, key: tuple) -> None:
         """Record one popped item on *key*.  Caller holds ``_cv``.
@@ -596,6 +657,12 @@ class World:
         recorded in the traffic statistics — lost and duplicated bytes
         cost bandwidth exactly like delivered ones.
         """
+        if self.faults is None:
+            # Fault-free fast path: one copy, no delay — skip the
+            # deliveries bookkeeping on the per-message hot path.
+            self.stats.record_message(phase, src, dst, self._wire_bytes(item))
+            self._put((src, dst, tag), item)
+            return
         deliveries: list[tuple[Any, float]] = [(item, 0.0)]
         if self.faults is not None:
             for spec in self.faults.actions_for(phase, src, dst, index, attempt):
@@ -764,7 +831,7 @@ class Request:
             return self._value
         world = self._world
         budget = world.timeout if timeout is None else timeout
-        deadline = time.monotonic() + budget
+        deadline = world.clock() + budget
         while True:
             world.check_abort()
             with world._cv:
@@ -781,17 +848,13 @@ class Request:
             dead = self._dead_peers()
             if dead:
                 raise RankFailedError(dead, where=f"wait on {self!r}")
-            with world._cv:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise DeadlockError(
-                        f"rank {self._comm.rank}: request.wait timed out "
-                        f"after {budget}s ({self!r})"
-                    )
-                if world._activity == ticks:
-                    # Nothing happened since the poll; sleep until the next
-                    # activity tick (capped: ticks can race the snapshot).
-                    world._cv.wait(min(remaining, 0.1))
+            remaining = deadline - world.clock()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self._comm.rank}: request.wait timed out "
+                    f"after {budget}s ({self!r})"
+                )
+            world._await_activity(self._comm.rank, ticks, remaining)
 
 
 class SendRequest(Request):
@@ -1020,7 +1083,7 @@ def waitany(
         return -1, None
     world = live[0][1]._world
     budget = world.timeout if timeout is None else timeout
-    deadline = time.monotonic() + budget
+    deadline = world.clock() + budget
     comm = live[0][1]._comm
     while True:
         world.check_abort()
@@ -1039,15 +1102,13 @@ def waitany(
                 dead.update(r._dead_peers())
         if dead:
             raise RankFailedError(sorted(dead), where="waitany")
-        with world._cv:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise DeadlockError(
-                    f"waitany timed out after {budget}s "
-                    f"({len(live)} requests outstanding)"
-                )
-            if world._activity == ticks:
-                world._cv.wait(min(remaining, 0.1))
+        remaining = deadline - world.clock()
+        if remaining <= 0:
+            raise DeadlockError(
+                f"waitany timed out after {budget}s "
+                f"({len(live)} requests outstanding)"
+            )
+        world._await_activity(comm.rank, ticks, remaining)
 
 
 class Communicator:
@@ -1113,6 +1174,10 @@ class Communicator:
         tracer = self.world.tracer
         if tracer is not None:
             tracer.record_compute(name, self.world_rank, name, flops, kind)
+        if self.world.virtual_time:
+            # DES: the modelled span also advances this rank's virtual
+            # clock (the same Section 7.4 cost the replay would charge).
+            self.world.advance_compute(self.world_rank, flops, kind)
 
     @contextmanager
     def _traced_collective(self, name: str) -> Iterator[None]:
@@ -1181,7 +1246,7 @@ class Communicator:
             payload = self._recv_reliable(source, tag, timeout=budget)
             return self._trace_recv(source, tag, payload)
         key = (source, self.rank, tag)
-        deadline = time.monotonic() + budget
+        deadline = self.world.clock() + budget
         item = self.world._get(key, deadline)
         if item is _TIMEOUT:
             raise DeadlockError(
@@ -1211,7 +1276,7 @@ class Communicator:
         attempts = 0
         patience = policy.retry_timeout
         budget = world.timeout if timeout is None else timeout
-        deadline = time.monotonic() + budget
+        deadline = world.clock() + budget
 
         def bump_attempts() -> None:
             nonlocal attempts, patience
@@ -1226,10 +1291,10 @@ class Communicator:
             expected = st["expected"]
             env = st["stash"].pop(expected, None)
             if env is None:
-                wait_until = min(time.monotonic() + patience, deadline)
+                wait_until = min(world.clock() + patience, deadline)
                 got = world._get(key, wait_until)
                 if got is _TIMEOUT:
-                    if time.monotonic() >= deadline:
+                    if world.clock() >= deadline:
                         raise DeadlockError(
                             f"rank {self.rank} timed out receiving from {source} "
                             f"(tag={tag}) after {budget}s"
@@ -1672,6 +1737,37 @@ class Communicator:
                     )
             return out
 
+    def alltoall_matrix(
+        self,
+        sendbuf: np.ndarray,
+        timeout: float | None = None,
+        algorithm: str | None = None,
+    ) -> np.ndarray:
+        """Array-native personalised all-to-all: row d of *sendbuf* to rank d.
+
+        Semantically ``np.stack(self.alltoall(list(sendbuf), ...))`` —
+        same schedules, tags, message counts and byte totals — but the
+        hierarchical schedule keeps payloads as a handful of contiguous
+        ndarrays per hop instead of P block objects, so thousand-rank
+        exchanges are not dominated by per-object overhead.  Row s of
+        the returned ``(size, ...)`` array is the block received from
+        rank s, bitwise identical to the list form.
+        """
+        sendbuf = np.asarray(sendbuf)
+        if sendbuf.ndim < 2 or sendbuf.shape[0] != self.size:
+            raise ValueError(
+                f"alltoall_matrix needs a (size, ...) array with leading "
+                f"dimension {self.size}, got shape {sendbuf.shape}"
+            )
+        algo = resolve_algorithm(algorithm, self.world)
+        if algo == "hierarchical":
+            from .alltoall import exchange_matrix
+
+            return exchange_matrix(self, sendbuf, timeout)
+        return np.stack(
+            self.alltoall(list(sendbuf), timeout=timeout, algorithm=algo)
+        )
+
     def _collective_recv(
         self, src: int, tag: int, timeout: float | None, what: str
     ) -> Any:
@@ -1837,12 +1933,31 @@ class Communicator:
         Each group lists local ranks in ascending order; the first entry
         of each group is its leader.  The hierarchical all-to-all and
         :meth:`split_by_node` both derive their structure from this.
+
+        Memoised: membership and the node map are immutable, and the
+        O(P) walk would otherwise repeat per rank per collective —
+        O(P²) across a thousand-rank world.  Base communicators share
+        one world-level cache (every rank computes the same answer);
+        sub-communicators cache per instance.
         """
+        base = type(self) is Communicator
+        cached = (
+            getattr(self.world, "_node_groups_cache", None)
+            if base
+            else getattr(self, "_node_groups_cache", None)
+        )
+        if cached is not None:
+            return cached
         nodes = self.world.nodes
         groups: dict[int, list[int]] = {}
         for i in range(self.size):
             groups.setdefault(nodes.node_of(self._world_rank_of(i)), []).append(i)
-        return [groups[n] for n in sorted(groups)]
+        cached = [groups[n] for n in sorted(groups)]
+        if base:
+            self.world._node_groups_cache = cached
+        else:
+            self._node_groups_cache = cached
+        return cached
 
     # ---- failure recovery (mini ULFM) ------------------------------------
 
@@ -2016,6 +2131,20 @@ class ShrunkCommunicator(Communicator):
                         m, tag=tag, timeout=timeout, what="alltoall(shrunk)"
                     )
             return out
+
+    def alltoall_matrix(
+        self,
+        sendbuf: np.ndarray,
+        timeout: float | None = None,
+        algorithm: str | None = None,
+    ) -> np.ndarray:
+        if algorithm not in (None, "pairwise"):
+            raise NotImplementedError(
+                "shrunk communicators exchange pairwise only (survivor sets "
+                "have no node structure to aggregate over)"
+            )
+        sendbuf = np.asarray(sendbuf)
+        return np.stack(self.alltoall(list(sendbuf), timeout=timeout))
 
     def alltoallv(
         self,

@@ -32,10 +32,13 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..exectx import reset_execution_context, set_execution_context
 from .comm import Communicator, TransportPolicy, World
 from .errors import InjectedFault, RankFailedError, SimMpiError, SpmdError
 from .faults import FaultPlan
 from .stats import TrafficStats
+
+_ENGINES = ("thread", "des")
 
 __all__ = ["SpmdResult", "current_rank", "run_spmd"]
 
@@ -66,6 +69,9 @@ class SpmdResult:
     stats: TrafficStats
     restarts: int = 0  # world re-executions consumed recovering rank kills
     failures: list[tuple[int, BaseException]] = field(default_factory=list)
+    #: Virtual makespan of the run in modelled seconds (DES engine only;
+    #: None under the thread engine, which has no virtual clock).
+    virtual_time_s: float | None = None
 
     @property
     def degraded(self) -> bool:
@@ -100,6 +106,8 @@ def run_spmd(
     resilient: bool = False,
     ranks_per_node: int | None = None,
     alltoall_algorithm: str = "pairwise",
+    engine: str = "thread",
+    cost_model: Any | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on *nranks* ranks.
@@ -180,6 +188,24 @@ def run_spmd(
         ``"pairwise"``, ``"bruck"``, ``"hierarchical"`` (see
         :mod:`repro.simmpi.alltoall`).  Per-call ``algorithm=``
         overrides it.
+    engine:
+        Execution substrate.  ``"thread"`` (default) runs one
+        free-running OS thread per rank on the wall clock — the
+        historical backend.  ``"des"`` runs ranks as cooperative fibers
+        under the deterministic virtual-time scheduler of
+        :mod:`repro.simmpi.des`: worlds of thousands of ranks execute in
+        seconds, timeouts/deadlocks resolve at virtual speed, and the
+        run is a pure function of (program, seed).  The two engines are
+        pinned together by the zero-tolerance ``des`` conformance group:
+        identical outputs (bitwise) and traffic statistics
+        (byte-for-byte) wherever both can run.
+    cost_model:
+        DES engine only: the :class:`repro.trace.TraceCostModel`
+        advancing virtual clocks (compute flops, wire/NIC, barrier).
+        Defaults to the standard model at the world's node shape.
+        Explicit ``link_latency``/``link_bandwidth`` arguments override
+        the model's fabric numbers for the virtual wire, mirroring what
+        the thread engine's link pump does in wall time.
 
     Returns an :class:`SpmdResult` with ``values[rank]``, the shared
     :class:`TrafficStats` of the successful attempt, and the number of
@@ -188,6 +214,8 @@ def run_spmd(
     exception and formatted traceback (``failures``/``tracebacks``),
     with ``rank``/``original`` still naming the selected root cause.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
     can_restart = restartable if restartable is not None else _default_restartable
     attempt = 0
     while True:
@@ -200,7 +228,7 @@ def run_spmd(
         failure = _run_once(
             nranks, fn, args, kwargs, timeout, fault_hook, faults, transport, trace,
             schedule, link_latency, link_bandwidth, resilient,
-            ranks_per_node, alltoall_algorithm,
+            ranks_per_node, alltoall_algorithm, engine, cost_model,
         )
         if isinstance(failure, SpmdResult):
             failure.restarts = attempt
@@ -227,18 +255,36 @@ def _run_once(
     resilient: bool = False,
     ranks_per_node: int | None = None,
     alltoall_algorithm: str = "pairwise",
+    engine: str = "thread",
+    cost_model: Any | None = None,
 ) -> SpmdResult | SpmdError:
-    world = World(
-        nranks,
-        timeout=timeout,
-        faults=faults,
-        transport=transport,
-        link_latency_s=link_latency,
-        link_bandwidth=link_bandwidth,
-        resilient=resilient,
-        ranks_per_node=ranks_per_node,
-        alltoall_algorithm=alltoall_algorithm,
-    )
+    if engine == "des":
+        from .des import DesWorld
+
+        world = DesWorld(
+            nranks,
+            timeout=timeout,
+            faults=faults,
+            transport=transport,
+            link_latency_s=link_latency,
+            link_bandwidth=link_bandwidth,
+            resilient=resilient,
+            ranks_per_node=ranks_per_node,
+            alltoall_algorithm=alltoall_algorithm,
+            cost_model=cost_model,
+        )
+    else:
+        world = World(
+            nranks,
+            timeout=timeout,
+            faults=faults,
+            transport=transport,
+            link_latency_s=link_latency,
+            link_bandwidth=link_bandwidth,
+            resilient=resilient,
+            ranks_per_node=ranks_per_node,
+            alltoall_algorithm=alltoall_algorithm,
+        )
     world.fault_hook = fault_hook
     if trace is not None:
         trace.attach(world)
@@ -252,6 +298,7 @@ def _run_once(
 
     def runner(rank: int) -> None:
         _tls.rank = rank
+        prev_ctx = set_execution_context(("world", world.ctx_token, rank))
         comm = Communicator(world, rank)
         try:
             values[rank] = fn(comm, *args, **kwargs)
@@ -261,21 +308,29 @@ def _run_once(
                 errors.append((rank, exc))
                 tracebacks[rank] = traceback.format_exc()
             world.mark_failed(rank, exc)
+        finally:
+            _tls.rank = None
+            reset_execution_context(prev_ctx)
 
-    threads = [
-        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
-        for rank in range(nranks)
-    ]
     start_order = range(nranks)
     if schedule is not None:
-        # Seeded thread-wakeup perturbation: launch ranks in a permuted
-        # order so the OS scheduler sees a different arrival pattern.
+        # Seeded start-order perturbation: under threads the OS scheduler
+        # sees a different arrival pattern; under DES the deterministic
+        # ready queue is seeded in this order.
         start_order = schedule.start_order(nranks)
-    for rank in start_order:
-        threads[rank].start()
-    for t in threads:
-        t.join()
+    if engine == "des":
+        world.des.execute(list(start_order), runner)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+            for rank in range(nranks)
+        ]
+        for rank in start_order:
+            threads[rank].start()
+        for t in threads:
+            t.join()
     world.shutdown()
+    virtual_time_s = world.des.max_clock() if engine == "des" else None
 
     if errors:
         errors.sort(key=lambda e: e[0])
@@ -283,7 +338,12 @@ def _run_once(
             # Survival mode: at least one rank finished despite the
             # casualties — hand back the partial result and the failure
             # report; the caller decides whether degraded is acceptable.
-            return SpmdResult(values, world.stats, failures=list(errors))
+            return SpmdResult(
+                values,
+                world.stats,
+                failures=list(errors),
+                virtual_time_s=virtual_time_s,
+            )
 
         def is_secondary(exc: BaseException) -> bool:
             # Plain SimMpiError ("aborted: ...") and RankFailedError
@@ -300,4 +360,4 @@ def _run_once(
                     rank, original = r, e
                     break
         return SpmdError(rank, original, errors, tracebacks)
-    return SpmdResult(values, world.stats)
+    return SpmdResult(values, world.stats, virtual_time_s=virtual_time_s)

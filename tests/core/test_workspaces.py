@@ -57,9 +57,11 @@ class TestConvolutionWorkspaces:
         plan = full_plan
         x = np.ascontiguousarray(_complex(rng, plan.n))
         plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
-        buf_a = plan._tls.xe[plan.n + plan.b * plan.p]
+        # The slot is (execution context, pool): keyed on rank identity
+        # inside SPMD worlds, thread identity outside.
+        buf_a = plan._tls.xe[1][plan.n + plan.b * plan.p]
         plan.window_view(x, x[: plan.b * plan.p], plan.q_chunks)
-        assert plan._tls.xe[plan.n + plan.b * plan.p] is buf_a
+        assert plan._tls.xe[1][plan.n + plan.b * plan.p] is buf_a
 
     def test_batched_rows_match_one_d_path(self, full_plan, rng):
         xb = _complex(rng, (3, full_plan.n))

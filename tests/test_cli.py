@@ -58,6 +58,7 @@ class TestCli:
             "bench-resilience",
             "bench-serve",
             "bench-a2a",
+            "bench-scale",
             "serve",
             "check",
             "fig5",
