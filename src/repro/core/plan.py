@@ -65,6 +65,12 @@ class SoiPlan:
         with an explicit ``b``.
     b:
         Stencil width override; required only with a bare window.
+    dtype:
+        Pipeline compute/wire dtype: ``numpy.complex128`` (default) or
+        ``numpy.complex64``.  A single-precision plan carries complex64
+        coefficient/demodulation tables and extended-input buffers, so
+        every stage — including the distributed all-to-all — moves half
+        the bytes per sample (the float32 wire pipeline).
 
     Notes
     -----
@@ -78,6 +84,7 @@ class SoiPlan:
     beta: float | Fraction = Fraction(1, 4)
     window: "WindowDesign | ReferenceWindow | str | float" = "full"
     b: int | None = None
+    dtype: "np.dtype | type | str" = np.complex128
 
     # Derived fields (populated in __post_init__).
     m: int = field(init=False)
@@ -95,6 +102,12 @@ class SoiPlan:
         self.n = check_positive_int(self.n, "n")
         self.p = check_positive_int(self.p, "p")
         require(self.n % self.p == 0, f"p={self.p} must divide n={self.n}")
+        dt = np.dtype(self.dtype)
+        require(
+            dt in (np.dtype(np.complex64), np.dtype(np.complex128)),
+            f"dtype must be complex64 or complex128, got {dt}",
+        )
+        self.dtype = dt
         self.m = self.n // self.p
 
         frac = as_fraction(self.beta) + 1
@@ -129,6 +142,12 @@ class SoiPlan:
         # (identical in both the sequential and distributed pipelines,
         # so their bit-for-bit equality is preserved).
         self.demod_recip = np.reciprocal(self.demod)
+        if self.dtype == np.complex64:
+            # Single-precision pipeline: tables are evaluated in double
+            # and rounded exactly once here, so the float32 path loses
+            # nothing to table construction.
+            self.coeffs = np.ascontiguousarray(self.coeffs.astype(np.complex64))
+            self.demod_recip = self.demod_recip.astype(np.complex64)
         self.demod_recip.setflags(write=False)
         # Workspaces filled lazily (and thread-safely — simmpi ranks are
         # threads sharing one plan): einsum contraction paths keyed by
@@ -300,7 +319,7 @@ class SoiPlan:
         pool = entry[1]
         buf = pool.get(total)
         if buf is None:
-            buf = pool[total] = np.empty(total, dtype=np.complex128)
+            buf = pool[total] = np.empty(total, dtype=self.dtype)
         buf[: vec.size] = vec
         buf[vec.size :] = tail
         it = buf.itemsize
@@ -323,6 +342,8 @@ class SoiPlan:
         phase = self._segment_phases.get(s)
         if phase is None:
             computed = np.exp(-2j * np.pi * s * np.arange(self.p) / self.p)
+            if self.dtype == np.complex64:
+                computed = computed.astype(np.complex64)
             computed.setflags(write=False)
             with self._workspace_lock:
                 phase = self._segment_phases.setdefault(s, computed)
@@ -384,6 +405,7 @@ def soi_plan_for(
     beta: float | Fraction = Fraction(1, 4),
     window: "WindowDesign | ReferenceWindow | str | float" = "full",
     b: int | None = None,
+    dtype: "np.dtype | type | str" = np.complex128,
 ) -> SoiPlan:
     """A shared :class:`SoiPlan` for this configuration (thread-safe LRU).
 
@@ -397,11 +419,11 @@ def soi_plan_for(
     """
     global _soi_cache, _soi_hits, _soi_misses, _soi_evictions
     if not isinstance(window, (str, float, int)) or isinstance(window, bool):
-        return SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
+        return SoiPlan(n=n, p=p, beta=beta, window=window, b=b, dtype=dtype)
     obs = _soi_observer
     if obs is not None:
         obs("core.soi_plan_cache", "rw", _SOI_GUARD)
-    key = (n, p, as_fraction(beta), window, b)
+    key = (n, p, as_fraction(beta), window, b, np.dtype(dtype).str)
     with _soi_lock:
         if _soi_cache is None:
             from collections import OrderedDict
@@ -412,7 +434,7 @@ def soi_plan_for(
             _soi_cache.move_to_end(key)
             _soi_hits += 1
             return plan
-    built = SoiPlan(n=n, p=p, beta=beta, window=window, b=b)
+    built = SoiPlan(n=n, p=p, beta=beta, window=window, b=b, dtype=dtype)
     with _soi_lock:
         plan = _soi_cache.setdefault(key, built)
         if plan is built:

@@ -43,14 +43,44 @@ __all__ = [
 
 
 def _as_batched(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
-    """Coerce input to complex128 with last axis == plan.n."""
-    arr = np.ascontiguousarray(x, dtype=np.complex128)
+    """Coerce input to the plan's dtype with last axis == plan.n."""
+    arr = np.ascontiguousarray(x, dtype=plan.dtype)
     if arr.ndim == 0 or arr.shape[-1] != plan.n:
         raise ValueError(
             f"plan is for N={plan.n}, input last axis has "
             f"{arr.shape[-1] if arr.ndim else 0} points"
         )
     return arr
+
+
+def _plan_fft(be: FftBackend, z: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Backend forward FFT over the last axis at the plan's precision.
+
+    Double-precision plans use the backend verbatim (the historical
+    bit-exact path).  For complex64 plans the repro backend executes a
+    native single-precision kernel plan; other backends compute at
+    their own precision and round once to complex64 — the distributed
+    pipeline routes through this same helper, so sequential and
+    distributed stay bit-for-bit equal at either precision.
+    """
+    if plan.dtype != np.complex64:
+        return be.fft(z)
+    if be.name == "repro":
+        from ..dft.cache import plan_for
+
+        return plan_for(z.shape[-1], precision="single").execute(z, inverse=False)
+    return be.fft(z).astype(np.complex64)
+
+
+def _plan_fft_tt(be: FftBackend, xt: np.ndarray, plan: SoiPlan) -> np.ndarray:
+    """Column-wise forward FFT (fused layout) at the plan's precision."""
+    if plan.dtype != np.complex64:
+        return backend_fft_tt(be, xt)
+    if be.name == "repro":
+        from ..dft.cache import plan_for
+
+        return plan_for(xt.shape[0], precision="single").execute_tt(xt)
+    return backend_fft_tt(be, xt).astype(np.complex64)
 
 
 def extended_input(x: np.ndarray, plan: SoiPlan) -> np.ndarray:
@@ -122,12 +152,12 @@ def soi_fft(
         # bit-identical to the generic path).
         winb = plan.window_view(arr, arr[: plan.b * plan.p], plan.q_chunks)
         z_t = plan.contract_windows_t(winb).reshape(plan.p, plan.m_over)
-        segments = backend_fft_tt(be, z_t)          # (I_M' (x) F_P) + P_perm
+        segments = _plan_fft_tt(be, z_t, plan)      # (I_M' (x) F_P) + P_perm
     else:
         z = soi_convolve(arr, plan)                 # (..., M', P)
-        v = be.fft(z)                               # I_M' (x) F_P
+        v = _plan_fft(be, z, plan)                  # I_M' (x) F_P
         segments = np.ascontiguousarray(np.swapaxes(v, -1, -2))  # P_perm
-    yt = be.fft(segments)                           # I_P (x) F_M'
+    yt = _plan_fft(be, segments, plan)              # I_P (x) F_M'
     y = yt[..., : plan.m] * plan.demod_recip        # P_proj + W_hat^-1
     return y.reshape(*batch, plan.n)
 
@@ -199,9 +229,11 @@ def soi_segment(
     vec = as_complex_vector(x)
     if vec.size != plan.n:
         raise ValueError(f"plan is for N={plan.n}, input has {vec.size} points")
+    if vec.dtype != plan.dtype:
+        vec = vec.astype(plan.dtype)
     phase = plan.segment_phase(s)    # cached length-P modulation table
     modulated = (vec.reshape(plan.m, plan.p) * phase).reshape(plan.n)
     z = soi_convolve(modulated, plan)
     x_tilde = z.sum(axis=1)          # DFT bin 0 across the P-axis
-    yt = be.fft(x_tilde)
+    yt = _plan_fft(be, x_tilde, plan)
     return yt[: plan.m] * plan.demod_recip

@@ -21,6 +21,9 @@ complete, self-contained implementation:
 - :func:`~repro.dft.cache.plan_for` — the process-wide, thread-safe
   LRU plan cache every hot path (backend, one-shots, SOI pipeline)
   routes through.
+- :mod:`~repro.dft.tune` — FFTW-style autotuner: races the Stockham
+  kernel variants/tunables per shape and records winners as persistent,
+  hostname-keyed wisdom that cached plans dispatch automatically.
 - :mod:`~repro.dft.backends` — registry so every higher-level algorithm
   can run on either this library or ``numpy.fft`` interchangeably.
 
@@ -45,6 +48,14 @@ from .cache import (
 )
 from .backends import FftBackend, get_backend, register_backend, available_backends
 from .flops import fft_flops, fft_gflops_rate
+from .tune import (
+    autotune,
+    clear_wisdom,
+    load_wisdom,
+    save_wisdom,
+    tune_shape,
+    wisdom_info,
+)
 
 __all__ = [
     "dft",
@@ -72,4 +83,10 @@ __all__ = [
     "available_backends",
     "fft_flops",
     "fft_gflops_rate",
+    "autotune",
+    "tune_shape",
+    "save_wisdom",
+    "load_wisdom",
+    "clear_wisdom",
+    "wisdom_info",
 ]

@@ -75,22 +75,28 @@ _evictions = 0
 _observer: Callable[[str, str, str], None] | None = None
 
 
-def _compute_dtype(dtype: Any) -> np.dtype:
-    """Map a caller dtype to the compute dtype its plan runs in.
+def _compute_dtype(dtype: Any, precision: str | None = None) -> np.dtype:
+    """Map a caller dtype (+ explicit precision opt-in) to compute dtype.
 
     All numeric inputs (real or complex, any precision) are transformed
-    in complex128; non-numeric dtypes are rejected here rather than deep
-    inside a kernel.
+    in complex128 by default; non-numeric dtypes are rejected here
+    rather than deep inside a kernel.  ``precision="single"`` is the
+    explicit opt-in for complex64 compute — never inferred from the
+    caller dtype, so existing float32/complex64 callers keep their
+    double-precision results bit-for-bit.
     """
-    if dtype is None:
-        return _COMPUTE_DTYPE
-    dt = np.dtype(dtype)
-    if dt.kind not in "biufc":
-        raise TypeError(f"cannot plan an FFT over dtype {dt}")
+    if precision is not None and precision not in ("double", "single"):
+        raise ValueError(f"precision must be 'double' or 'single', got {precision!r}")
+    if dtype is not None:
+        dt = np.dtype(dtype)
+        if dt.kind not in "biufc":
+            raise TypeError(f"cannot plan an FFT over dtype {dt}")
+    if precision == "single":
+        return np.dtype(np.complex64)
     return _COMPUTE_DTYPE
 
 
-def plan_for(n: int, dtype: Any = None) -> FftPlan:
+def plan_for(n: int, dtype: Any = None, precision: str | None = None) -> FftPlan:
     """The shared :class:`FftPlan` for length *n* (built once, LRU-cached).
 
     *dtype* is the caller's input dtype; it is normalised to the compute
@@ -98,7 +104,9 @@ def plan_for(n: int, dtype: Any = None) -> FftPlan:
     that normalised dtype is part of the cache key.  Mixed float32 /
     complex64 / complex128 callers therefore share one plan soundly —
     the plan casts at its boundary, so a cache hit can never replay a
-    kernel at the wrong precision.
+    kernel at the wrong precision.  ``precision="single"`` opts in to a
+    complex64 compute plan under a *distinct* cache key (the
+    reduced-precision path the original key design anticipated).
 
     Both directions execute through the same plan object
     (``plan.execute(x, inverse=...)``), so one cache entry serves
@@ -108,7 +116,8 @@ def plan_for(n: int, dtype: Any = None) -> FftPlan:
     obs = _observer
     if obs is not None:
         obs("dft.plan_cache", "rw", _GUARD)
-    key = (int(n), _compute_dtype(dtype).str)
+    compute = _compute_dtype(dtype, precision)
+    key = (int(n), compute.str)
     with _lock:
         plan = _plans.get(key)
         if plan is not None:
@@ -117,7 +126,9 @@ def plan_for(n: int, dtype: Any = None) -> FftPlan:
             return plan
         # Build under the lock: construction is one-time work and doing
         # it here guarantees a single shared plan object per size.
-        plan = FftPlan(key[0])
+        plan = FftPlan(
+            key[0], precision="single" if compute == np.complex64 else "double"
+        )
         _plans[key] = plan
         _plans.move_to_end(key)
         _misses += 1
@@ -138,15 +149,25 @@ def clear_plan_cache() -> None:
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Cache statistics: entries, hits, misses, evictions, max_plans."""
+    """Cache statistics: entries, hits, misses, evictions, max_plans,
+    plus the autotuner's wisdom counters (``wisdom_entries``,
+    ``wisdom_hits`` — plan executions served a tuned config — vs.
+    ``races_run`` — fresh measurements paid this process)."""
+    from . import tune  # lazy: tune imports the kernel, not the cache
+
     with _lock:
-        return {
+        info = {
             "entries": len(_plans),
             "hits": _hits,
             "misses": _misses,
             "evictions": _evictions,
             "max_plans": _max_plans,
         }
+    winfo = tune.wisdom_info()
+    info["wisdom_entries"] = winfo["entries"]
+    info["wisdom_hits"] = winfo["wisdom_hits"]
+    info["races_run"] = winfo["races_run"]
+    return info
 
 
 def set_plan_cache_limit(max_plans: int) -> int:

@@ -46,6 +46,11 @@ class FftPlan:
     inverse:
         Default direction of :meth:`execute`; either direction can be
         requested explicitly per call.
+    precision:
+        ``"double"`` (the default, complex128 compute — the historical
+        contract) or ``"single"`` (complex64 compute, the explicit
+        opt-in behind the float32 wire pipeline: half the bytes per
+        element through every stage the plan touches).
 
     Attributes
     ----------
@@ -60,12 +65,25 @@ class FftPlan:
 
     n: int
     inverse: bool = False
+    precision: str = "double"
     kernel: str = field(init=False)
     executions: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.n = check_positive_int(self.n, "n")
+        if self.precision not in ("double", "single"):
+            raise ValueError(
+                f"precision must be 'double' or 'single', got {self.precision!r}"
+            )
+        self.compute_dtype = np.dtype(
+            np.complex64 if self.precision == "single" else np.complex128
+        )
         self._count_lock = threading.Lock()
+        # Autotuner memo: (wisdom generation, {batch count -> config}).
+        # Revalidated against repro.dft.tune's generation counter so a
+        # late wisdom load (server warm-up, bench racing) reaches plans
+        # that are already cached and executing.
+        self._tune_memo: tuple[int, dict] | None = None
         if self.n == 1 or is_power_of_two(self.n):
             self.kernel = "radix2"
         elif max(factorize(self.n)) <= _MAX_DENSE_PRIME:
@@ -76,8 +94,8 @@ class FftPlan:
         # is not an outlier in timing loops (plans in FFTW/MKL do the
         # same).  Each warm-up populates a shared, thread-safe cache.
         if self.kernel == "radix2" and self.n > 1:
-            stage_twiddles(self.n, -1)
-            stage_twiddles(self.n, +1)
+            stage_twiddles(self.n, -1, self.compute_dtype)
+            stage_twiddles(self.n, +1, self.compute_dtype)
         elif self.kernel == "mixed_radix":
             schedule = mixed_radix_schedule(self.n)
             if schedule.tail == "radix2" and schedule.tail_n > 1:
@@ -87,13 +105,12 @@ class FftPlan:
             _bluestein_setup(self.n, -1)
             _bluestein_setup(self.n, +1)
 
-    #: Every kernel computes in complex128; inputs of any numeric dtype
-    #: or memory layout are normalised to it at the plan boundary.
+    #: The default compute dtype; a plan's actual dtype is
+    #: ``self.compute_dtype`` (complex64 for ``precision="single"``).
     COMPUTE_DTYPE = np.complex128
 
-    @staticmethod
-    def _as_compute(arr: np.ndarray) -> np.ndarray:
-        """Normalise input to the compute dtype and a C-contiguous layout.
+    def _as_compute(self, arr: np.ndarray) -> np.ndarray:
+        """Normalise input to the plan's compute dtype, C-contiguous.
 
         Doing the cast here — rather than relying on each kernel's own
         coercion — makes cross-dtype plan-cache sharing sound by
@@ -101,7 +118,49 @@ class FftPlan:
         same cached plan execute the identical kernel on the identical
         bit pattern.
         """
-        return np.ascontiguousarray(arr, dtype=FftPlan.COMPUTE_DTYPE)
+        return np.ascontiguousarray(arr, dtype=self.compute_dtype)
+
+    def _tuned_config(self, nb: int) -> dict | None:
+        """The autotuned kernel config for a batch of *nb*, memoised.
+
+        Consults :mod:`repro.dft.tune` wisdom once per (batch count,
+        wisdom generation); ``None`` means the default radix-2 config.
+        """
+        if self.n <= 1:
+            return None
+        from . import tune
+
+        gen = tune.wisdom_generation()
+        with self._count_lock:
+            memo = self._tune_memo
+            if memo is None or memo[0] != gen:
+                memo = (gen, {})
+                self._tune_memo = memo
+        cfgs = memo[1]
+        if nb not in cfgs:
+            cfgs[nb] = tune.tuned_config_for(self.n, self.compute_dtype, nb)
+        return cfgs[nb]
+
+    def _execute_pow2(self, arr: np.ndarray, inverse: bool) -> np.ndarray:
+        """Power-of-two transform via the (possibly tuned) Stockham kernel."""
+        from .stockham import stockham_fft
+
+        nb = int(np.prod(arr.shape[:-1], dtype=np.int64)) or 1
+        cfg = self._tuned_config(nb)
+        sign = +1 if inverse else -1
+        if cfg is None:
+            out = stockham_fft(arr, sign)
+        else:
+            out = stockham_fft(
+                arr,
+                sign,
+                variant=cfg["variant"],
+                group_elements=cfg["group_elements"],
+                tile_elements=cfg["tile_elements"],
+            )
+        if inverse:
+            out = out / self.n
+        return out
 
     def execute(self, x: np.ndarray, inverse: bool | None = None) -> np.ndarray:
         """Transform *x* over its last axis; length must equal ``self.n``.
@@ -117,11 +176,16 @@ class FftPlan:
         arr = self._as_compute(arr)
         inv = self.inverse if inverse is None else inverse
         if self.kernel == "mixed_radix":
+            # Non-pow2 kernels compute in double; single-precision plans
+            # round once at the boundary (strictly more accurate than a
+            # native c64 recursion, and the wire dtype is what matters).
             out = fft_mixed_radix(arr, inverse=inv)
         elif self.kernel == "bluestein":
             out = fft_bluestein(arr, inverse=inv)
         else:
-            out = _fft_pow2(arr, inv)
+            out = self._execute_pow2(arr, inv)
+        if out.dtype != self.compute_dtype:
+            out = out.astype(self.compute_dtype)
         batch = int(np.prod(arr.shape[:-1], dtype=np.int64)) or 1
         with self._count_lock:
             self.executions += batch
@@ -150,7 +214,17 @@ class FftPlan:
             )
         from .stockham import stockham_fft_t
 
-        out = stockham_fft_t(self._as_compute(arr), -1)
+        cfg = self._tuned_config(arr.shape[0])
+        if cfg is None:
+            out = stockham_fft_t(self._as_compute(arr), -1)
+        else:
+            out = stockham_fft_t(
+                self._as_compute(arr),
+                -1,
+                variant=cfg["variant"],
+                group_elements=cfg["group_elements"],
+                tile_elements=cfg["tile_elements"],
+            )
         with self._count_lock:
             self.executions += arr.shape[0]
         return out
@@ -178,7 +252,17 @@ class FftPlan:
             return np.ascontiguousarray(np.swapaxes(out, 0, 1))
         from .stockham import stockham_fft_tt
 
-        out = stockham_fft_tt(self._as_compute(arr), -1)
+        cfg = self._tuned_config(arr.shape[1])
+        if cfg is None:
+            out = stockham_fft_tt(self._as_compute(arr), -1)
+        else:
+            out = stockham_fft_tt(
+                self._as_compute(arr),
+                -1,
+                variant=cfg["variant"],
+                group_elements=cfg["group_elements"],
+                tile_elements=cfg["tile_elements"],
+            )
         with self._count_lock:
             self.executions += arr.shape[1]
         return out
@@ -193,13 +277,6 @@ class FftPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FftPlan(n={self.n}, kernel={self.kernel!r}, executions={self.executions})"
-
-
-def _fft_pow2(arr: np.ndarray, inverse: bool) -> np.ndarray:
-    """Power-of-two transform with NumPy scaling conventions."""
-    from .radix2 import fft_radix2, ifft_radix2
-
-    return ifft_radix2(arr) if inverse else fft_radix2(arr)
 
 
 def fft(x: np.ndarray) -> np.ndarray:

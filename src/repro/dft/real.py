@@ -3,15 +3,22 @@
 Many of the workloads the paper's introduction motivates (signal
 filtering, spectral analysis of measured data) start from real samples.
 ``rfft`` computes the ``n//2 + 1`` non-redundant spectrum bins of a
-real even-length signal using one complex FFT of length ``n/2`` plus an
-O(n) untangling pass — half the work of a full complex transform.
+real signal; for even lengths it uses one complex FFT of length ``n/2``
+plus an O(n) untangling pass — half the work of a full complex
+transform — and for odd lengths it falls back to one full-length
+complex transform, keeping the non-redundant bins.  Both directions
+route their internal complex transforms through the plan cache
+(:func:`repro.dft.cache.plan_for`), so repeated real transforms of one
+size ride the create-once/execute-many hot path like the complex
+one-shots — including any autotuned kernel config wisdom has for the
+packed length.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .mixed_radix import fft_mixed_radix
+from .cache import plan_for
 from .twiddle import twiddles
 
 __all__ = ["rfft", "irfft"]
@@ -20,10 +27,12 @@ __all__ = ["rfft", "irfft"]
 def rfft(x: np.ndarray) -> np.ndarray:
     """Non-redundant spectrum of a real signal over the last axis.
 
-    Requires even length; returns ``n//2 + 1`` complex bins matching
-    ``numpy.fft.rfft``.  Internally packs consecutive (even, odd) sample
-    pairs into one complex vector of length ``n/2``, transforms it once,
-    and untangles the two interleaved real spectra.
+    Returns ``n//2 + 1`` complex bins matching ``numpy.fft.rfft`` for
+    any length.  Even lengths pack consecutive (even, odd) sample pairs
+    into one complex vector of length ``n/2``, transform it once, and
+    untangle the two interleaved real spectra; odd lengths (where the
+    packing trick needs a pair for every sample) transform the real
+    signal directly and keep the first ``n//2 + 1`` bins.
     """
     arr = np.asarray(x)
     if np.iscomplexobj(arr):
@@ -31,10 +40,13 @@ def rfft(x: np.ndarray) -> np.ndarray:
     arr = np.ascontiguousarray(arr, dtype=np.float64)
     n = arr.shape[-1]
     if n % 2:
-        raise ValueError(f"rfft requires even length, got {n}")
+        # Odd length: no (even, odd) pairing exists; one full-length
+        # complex transform through the cached mixed-radix plan.
+        full = plan_for(n, arr.dtype).execute(arr, inverse=False)
+        return np.ascontiguousarray(full[..., : n // 2 + 1])
     half = n // 2
     packed = arr[..., 0::2] + 1j * arr[..., 1::2]
-    z = fft_mixed_radix(packed)
+    z = plan_for(half, packed.dtype).execute(packed, inverse=False)
     # Spectra of the even/odd interleaved streams, using Z_{n/2} = Z_0.
     zfull = np.concatenate([z, z[..., :1]], axis=-1)
     zrev = np.conj(zfull[..., ::-1])
@@ -65,7 +77,7 @@ def irfft(spec: np.ndarray, n: int | None = None) -> np.ndarray:
     # From X_k = Fe_k + w_k*Fo_k and conj(X_{n/2-k}) = Fe_k - w_k*Fo_k.
     fo = 0.5 * (s - srev) * np.conj(twiddles(n, -1)[: half + 1])
     z = fe[..., :half] + 1j * fo[..., :half]
-    packed = fft_mixed_radix(z, inverse=True)
+    packed = plan_for(half, z.dtype).execute(z, inverse=True)
     out = np.empty(s.shape[:-1] + (n,), dtype=np.float64)
     out[..., 0::2] = packed.real
     out[..., 1::2] = packed.imag

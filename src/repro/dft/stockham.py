@@ -1,4 +1,4 @@
-"""Iterative batched Stockham radix-2 kernel (the plan-cache hot path).
+"""Iterative batched Stockham kernel with racing-selectable pass schedules.
 
 The decimation-in-time butterfly network here is *operation-for-operation
 identical* to the classic bit-reversal kernel this module replaced —
@@ -9,8 +9,8 @@ ordering folds the permutation into the stage-by-stage data movement:
 - no up-front bit-reversal gather (a full strided pass on its own);
 - every stage reads two contiguous halves of a ping-pong buffer and
   writes with ``out=`` ufunc calls — no per-stage ``np.concatenate``
-  allocation, and only three passes over the data per stage;
-- batches are carried on the *fastest* axis (``(K, m, batch)`` layout),
+  allocation;
+- batches are carried on the *fastest* axis (``(K, m, nb)`` layout),
   so even the early small-``m`` stages stream long contiguous runs.
 
 Invariant of the ``(K, m, nb)`` layout: after the stage with half-size
@@ -19,9 +19,45 @@ the decimated subsequence ``x[i, k::K]``.  The first stage is a pure
 reshape (``m = 1`` DFTs are the samples themselves) and the last stage
 (``K = 1``) leaves the transform in natural order — self-sorting.
 
+Kernel variants (the autotuner's racing dimension, see
+:mod:`repro.dft.tune`): the ``log2(n)`` radix-2 stages can be walked by
+three *pass schedules* —
+
+- ``"radix2"`` — one buffer pass per stage (the historical default);
+- ``"radix4"`` — consecutive stage pairs fused into one radix-4 pass
+  (stage A's output never round-trips through a full stage buffer
+  handoff; an odd trailing stage runs as a single radix-2 pass);
+- ``"split_radix"`` — radix-2 passes for the small-``m`` head (where
+  per-call overhead dominates and the simple pass is cheapest) and
+  fused radix-4 passes for the large-``m`` tail (the memory-bound
+  regime) — an L-shaped split schedule.
+
+All three walk the *same* butterfly network: a fused radix-4 pass
+performs the identical scalar multiplies, adds and subtracts of its two
+radix-2 stages in the identical order (the stage-B columns decompose
+exactly into the stage-A quadrant sums), so every variant is **bitwise
+identical** to ``"radix2"``.  They differ only in data movement and
+ufunc call granularity — which is precisely what makes racing them per
+``(n, dtype, batch)`` meaningful.  True split-radix arithmetic (shared
+``w^k * w^{2k}`` products) is *not* used: it reassociates floating-point
+operations and would break the repo-wide bitwise invariants
+(sequential == distributed SOI, DES == threads, coalesced == solo).
+
+Two further tunables ride along, both bit-neutral:
+
+- ``group_elements`` — the cache-blocking bound over the batch axis
+  (``0`` disables grouping, ``None`` keeps the built-in default);
+- ``tile_elements`` — the bound below which per-stage twiddle rows are
+  batch-expanded (``np.repeat(w, nb)``) so multiplies run on fully
+  contiguous operands (``0`` disables tiling, ``None`` the default).
+
 Per-stage twiddle tables (``exp(sign*2j*pi*k/2m)``, ``k < m``) are
-precomputed once per size and cached; :class:`~repro.dft.plan.FftPlan`
-warms them at plan-construction time so plan execution never pays trig.
+precomputed once per (size, dtype) and cached;
+:class:`~repro.dft.plan.FftPlan` warms them at plan-construction time so
+plan execution never pays trig.  The kernel computes natively in either
+``complex128`` or ``complex64`` (the dtype of the input array): the
+single-precision path is the engine of the float32 wire pipeline —
+half the bytes per element end to end.
 """
 
 from __future__ import annotations
@@ -39,26 +75,32 @@ __all__ = [
     "stockham_fft_t",
     "stockham_fft_tt",
     "stage_twiddles",
+    "pass_schedule",
     "clear_stage_cache",
+    "KERNEL_VARIANTS",
 ]
 
+#: The pass schedules the autotuner may race (all bitwise-identical).
+KERNEL_VARIANTS = ("radix2", "radix4", "split_radix")
+
 _STAGE_CACHE_MAX = 256
-_stage_cache: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+_stage_cache: OrderedDict[tuple, tuple] = OrderedDict()
 _stage_lock = threading.Lock()
 
 # Batch-expanded twiddle rows (``np.repeat(w, nb)``) let every stage run
-# three fully contiguous ufunc passes even for small batch counts, where
-# the broadcast multiply's inner loop would be short.  They cost n*nb
+# fully contiguous ufunc passes even for small batch counts, where the
+# broadcast multiply's inner loop would be short.  They cost n*nb
 # complex values per (size, batch) pair, so only modest problems are
-# cached; larger ones use the broadcast path (bit-identical either way —
-# the same value pairs are multiplied).
+# tiled by default; larger ones use the broadcast path (bit-identical
+# either way — the same value pairs are multiplied).  The threshold is a
+# tunable: the autotuner races it per shape.
 _TILE_MAX_ELEMENTS = 1 << 17
 _TILE_CACHE_MAX = 32
-_tile_cache: OrderedDict[tuple[int, int, int], tuple] = OrderedDict()
+_tile_cache: OrderedDict[tuple, tuple] = OrderedDict()
 _tile_lock = threading.Lock()
 
-# Ping-pong scratch reuse: the kernel's two stage buffers plus the
-# twiddle-product temporary are fully overwritten every stage, so they
+# Ping-pong scratch reuse: the kernel's stage buffers plus the
+# twiddle-product temporary are fully overwritten every pass, so they
 # can be recycled across calls of the same (n, nb) — repeated same-size
 # transforms (the plan-cache hit path) then allocate nothing.  Pools are
 # keyed on :func:`repro.exectx.execution_context` — NOT the OS thread —
@@ -70,6 +112,18 @@ _tile_lock = threading.Lock()
 _SCRATCH_PER_CONTEXT = 4
 _SCRATCH_MAX_ELEMENTS = 1 << 18  # ~10 MiB per pooled entry; beyond that, allocate
 _scratch_tls = threading.local()
+
+
+def _kernel_ctype(arr: np.ndarray) -> np.dtype:
+    """The compute dtype the kernel runs in for this input.
+
+    ``complex64`` inputs stay single precision (the float32 pipeline);
+    everything else is the historical ``complex128`` contract.
+    """
+    dt = arr.dtype
+    if dt == np.complex64:
+        return np.dtype(np.complex64)
+    return np.dtype(np.complex128)
 
 
 def _scratch_pool() -> OrderedDict:
@@ -89,41 +143,46 @@ def _scratch_pool() -> OrderedDict:
     return pool
 
 
-def _scratch_buffers(total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _scratch_buffers(
+    total: int, ctype: np.dtype = np.dtype(np.complex128)
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Two length-*total* stage buffers + a half-length temp (recycled)."""
     if total > _SCRATCH_MAX_ELEMENTS:
         return (
-            np.empty(total, dtype=np.complex128),
-            np.empty(total, dtype=np.complex128),
-            np.empty(total // 2, dtype=np.complex128),
+            np.empty(total, dtype=ctype),
+            np.empty(total, dtype=ctype),
+            np.empty(total // 2, dtype=ctype),
         )
     pool = _scratch_pool()
-    bufs = pool.get(total)
+    key = (total, ctype.char)
+    bufs = pool.get(key)
     if bufs is None:
         bufs = (
-            np.empty(total, dtype=np.complex128),
-            np.empty(total, dtype=np.complex128),
-            np.empty(total // 2, dtype=np.complex128),
+            np.empty(total, dtype=ctype),
+            np.empty(total, dtype=ctype),
+            np.empty(total // 2, dtype=ctype),
         )
-        pool[total] = bufs
+        pool[key] = bufs
         while len(pool) > _SCRATCH_PER_CONTEXT:
             pool.popitem(last=False)
     else:
-        pool.move_to_end(total)
+        pool.move_to_end(key)
     return bufs
 
 
-def stage_twiddles(n: int, sign: int) -> tuple:
+def stage_twiddles(n: int, sign: int, ctype: np.dtype | None = None) -> tuple:
     """Per-stage twiddle tables for a length-*n* radix-2 transform.
 
     Returns one ``(w_row, w_col)`` pair per butterfly stage
     ``m = 1, 2, 4, ..., n/2`` where ``w_row`` has shape ``(m,)`` and
-    ``w_col`` is the same table as an ``(m, 1)`` column (both read-only
-    views into the shared twiddle cache).  The ``m = 1`` entry is
-    ``None``: its twiddle is exactly ``1`` and the kernel skips the
-    multiply altogether.
+    ``w_col`` is the same table as an ``(m, 1)`` column (both read-only).
+    The ``m = 1`` entry is ``None``: its twiddle is exactly ``1`` and the
+    kernel skips the multiply altogether.  *ctype* selects the table
+    precision (``complex64`` tables are rounded once from the double
+    tables and cached separately).
     """
-    key = (n, sign)
+    ct = np.dtype(np.complex128) if ctype is None else np.dtype(ctype)
+    key = (n, sign, ct.char)
     with _stage_lock:
         hit = _stage_cache.get(key)
         if hit is not None:
@@ -136,6 +195,9 @@ def stage_twiddles(n: int, sign: int) -> tuple:
             stages.append(None)
         else:
             w = twiddles(2 * m, sign)[:m]
+            if ct != np.complex128:
+                w = w.astype(ct)
+                w.setflags(write=False)
             stages.append((w, w.reshape(m, 1)))
         m *= 2
     table = tuple(stages)
@@ -155,16 +217,16 @@ def clear_stage_cache() -> None:
         _tile_cache.clear()
 
 
-def _tiled_twiddles(n: int, sign: int, nb: int) -> tuple:
+def _tiled_twiddles(n: int, sign: int, nb: int, ctype: np.dtype) -> tuple:
     """Per-stage ``repeat(w, nb)`` rows for the batched kernel (cached)."""
-    key = (n, sign, nb)
+    key = (n, sign, nb, ctype.char)
     with _tile_lock:
         hit = _tile_cache.get(key)
         if hit is not None:
             _tile_cache.move_to_end(key)
             return hit
     tiles = []
-    for stage in stage_twiddles(n, sign):
+    for stage in stage_twiddles(n, sign, ctype):
         if stage is None:
             tiles.append(None)
         else:
@@ -180,36 +242,158 @@ def _tiled_twiddles(n: int, sign: int, nb: int) -> tuple:
     return table
 
 
-def _stockham_single(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
-    """Single-transform path: ``(K, m)`` layout, no batch axis."""
-    src = x2.reshape(n, 1)
-    stages = stage_twiddles(n, sign)
-    out = np.empty(n, dtype=np.complex128)
-    _, ping, tmp = _scratch_buffers(n)
-    # Ping-pong parity chosen so the LAST stage lands in the fresh
-    # output buffer — pooled scratch is recycled and must not escape.
-    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
-    m, big_k, bi = 1, n, 0
-    for stage in stages:
+def pass_schedule(n: int, variant: str = "radix2") -> tuple[str, ...]:
+    """The pass tags (``"r2"`` / ``"r4"``) walking the ``log2(n)`` stages.
+
+    - ``radix2``: every stage its own pass.
+    - ``radix4``: stage pairs fused from stage 0; an odd trailing stage
+      runs as a final radix-2 pass.
+    - ``split_radix``: radix-2 passes for the first (small-``m``) stages,
+      fused radix-4 passes for the rest; the head length absorbs the
+      parity so the tail pairs cleanly.
+
+    A fused pass consumes exactly two stage tables and performs their
+    scalar operations unchanged — schedules are data-flow variants of
+    one butterfly network, never arithmetic variants.
+    """
+    s = max(n.bit_length() - 1, 0)
+    if variant == "radix2":
+        return ("r2",) * s
+    if variant == "radix4":
+        return ("r4",) * (s // 2) + ("r2",) * (s % 2)
+    if variant == "split_radix":
+        head = 2 if s >= 4 else s
+        head += (s - head) % 2
+        return ("r2",) * head + ("r4",) * ((s - head) // 2)
+    raise ValueError(f"unknown kernel variant {variant!r}; choose from {KERNEL_VARIANTS}")
+
+
+def _run_network(
+    src: np.ndarray,
+    srcbuf: np.ndarray | None,
+    free: list,
+    out: np.ndarray,
+    tmp: np.ndarray,
+    n: int,
+    nb: int,
+    sign: int,
+    schedule: tuple[str, ...],
+    stages: tuple,
+    tiles: tuple | None,
+) -> np.ndarray:
+    """Execute *schedule* over the ``(K, m, nb)`` views of flat buffers.
+
+    *src* is the stage-0 ``(n, 1, nb)`` view (read-only — possibly the
+    caller's array); *srcbuf* the flat buffer backing it (``None`` when
+    it is the caller's).  *free* holds the flat scratch buffers currently
+    not carrying live data; the last pass must land in *out*, so *out*
+    is only picked as a destination on the final pass (earlier fused
+    passes may use it as the quadrant spare — its contents die within
+    the pass).  Buffer choice never affects values: every pass performs
+    the same ufunc calls on the same operands wherever they live.
+    """
+    total = n * nb
+    npass = len(schedule)
+    m, big_k, si = 1, n, 0
+    for pi, tag in enumerate(schedule):
+        last = pi == npass - 1
+        dst_i = 0
+        for i, b in enumerate(free):
+            if (b is out) == last:
+                dst_i = i
+                break
+        dstbuf = free.pop(dst_i)
         half = big_k // 2
         e = src[:half]
         o = src[half:]
-        dst = bufs[bi].reshape(half, 2 * m)
-        if stage is None:
-            t = o
-        else:
-            t = tmp.reshape(half, m)
-            np.multiply(o, stage[0], out=t)
-        np.add(e, t, out=dst[:, :m])
-        np.subtract(e, t, out=dst[:, m:])
+        if tag == "r2":
+            dst = dstbuf[:total].reshape(half, 2 * m, nb)
+            stage = stages[si]
+            if stage is None:
+                t = o
+            else:
+                t = tmp[: total // 2].reshape(half, m, nb)
+                if tiles is not None:
+                    np.multiply(
+                        o.reshape(half, m * nb),
+                        tiles[si],
+                        out=t.reshape(half, m * nb),
+                    )
+                else:
+                    np.multiply(o, stage[1], out=t)
+            np.add(e, t, out=dst[:, :m])
+            np.subtract(e, t, out=dst[:, m:])
+            m *= 2
+            si += 1
+            big_k = half
+        else:  # fused radix-4: two stages, same scalar ops, one handoff
+            q = big_k // 4
+            quarter = total // 4
+            stage_a = stages[si]
+            stage_b = stages[si + 1]
+            spare = free[0]  # scratch for the stage-A quadrants
+            uv = spare[:total].reshape(4, q, m, nb)
+            u0, u1, v0, v1 = uv[0], uv[1], uv[2], uv[3]
+            a = src[:q]
+            b = src[q:half]
+            c = src[half : half + q]
+            d = src[half + q :]
+            if stage_a is None:
+                t1, t2 = c, d
+            else:
+                t = tmp[: total // 2].reshape(half, m, nb)
+                if tiles is not None:
+                    np.multiply(
+                        o.reshape(half, m * nb),
+                        tiles[si],
+                        out=t.reshape(half, m * nb),
+                    )
+                else:
+                    np.multiply(o, stage_a[1], out=t)
+                t1, t2 = t[:q], t[q:]
+            # Stage A, split by destination quadrant: (a;b) +- (t1;t2).
+            np.add(a, t1, out=u0)
+            np.subtract(a, t1, out=u1)
+            np.add(b, t2, out=v0)
+            np.subtract(b, t2, out=v1)
+            # Stage B twiddle halves scale the odd quadrants (t1/t2 are
+            # dead by now, so tmp is reused for the products).
+            p0 = tmp[:quarter].reshape(q, m, nb)
+            p1 = tmp[quarter : 2 * quarter].reshape(q, m, nb)
+            if tiles is not None:
+                tile_b = tiles[si + 1]
+                np.multiply(
+                    v0.reshape(q, m * nb), tile_b[: m * nb], out=p0.reshape(q, m * nb)
+                )
+                np.multiply(
+                    v1.reshape(q, m * nb), tile_b[m * nb :], out=p1.reshape(q, m * nb)
+                )
+            else:
+                wb = stage_b[1]  # (2m, 1) column table
+                np.multiply(v0, wb[:m], out=p0)
+                np.multiply(v1, wb[m:], out=p1)
+            dst = dstbuf[:total].reshape(q, 4 * m, nb)
+            np.add(u0, p0, out=dst[:, :m])
+            np.add(u1, p1, out=dst[:, m : 2 * m])
+            np.subtract(u0, p0, out=dst[:, 2 * m : 3 * m])
+            np.subtract(u1, p1, out=dst[:, 3 * m :])
+            m *= 4
+            si += 2
+            big_k = q
+        if srcbuf is not None:
+            free.append(srcbuf)
+        srcbuf = dstbuf
         src = dst
-        bi ^= 1
-        m *= 2
-        big_k = half
-    return src.reshape(n)
+    return out[:total]
 
 
-def _stockham_core(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+def _stockham_core(
+    x2: np.ndarray,
+    n: int,
+    sign: int,
+    variant: str = "radix2",
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Butterfly network in the ``(K, m, nb)`` layout, batch on the fast axis.
 
     Returns the transform in its natural internal layout — a contiguous
@@ -220,144 +404,166 @@ def _stockham_core(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
     mixed-radix output interleave) use this directly and skip it.
     """
     nb = x2.shape[0]
-    tiles = _tiled_twiddles(n, sign, nb) if n * nb <= _TILE_MAX_ELEMENTS else None
-    stages = stage_twiddles(n, sign)
+    ctype = _kernel_ctype(x2)
+    tmax = _TILE_MAX_ELEMENTS if tile_elements is None else tile_elements
+    tiles = _tiled_twiddles(n, sign, nb, ctype) if n * nb <= tmax else None
+    stages = stage_twiddles(n, sign, ctype)
+    schedule = pass_schedule(n, variant)
     total = n * nb
-    out = np.empty(total, dtype=np.complex128)
-    hold, ping, tmp = _scratch_buffers(total)
+    out = np.empty(total, dtype=ctype)
+    hold, ping, tmp = _scratch_buffers(total, ctype)
     np.copyto(hold.reshape(n, nb), x2.T)  # the layout transpose, into scratch
     src = hold.reshape(n, 1, nb)
-    # Ping-pong parity chosen so the LAST stage lands in the fresh
-    # output buffer — pooled scratch is recycled and must not escape.
-    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
-    m, big_k, bi = 1, n, 0
-    for idx, stage in enumerate(stages):
-        half = big_k // 2
-        e = src[:half]
-        o = src[half:]
-        dst = bufs[bi].reshape(half, 2 * m, nb)
-        if stage is None:
-            t = o
-        else:
-            t = tmp.reshape(half, m, nb)
-            if tiles is not None:
-                # Flattened (half, m*nb) view: contiguous multiply with a
-                # precomputed repeat(w, nb) row — same value pairs as the
-                # broadcast product, so bit-identical output.
-                np.multiply(
-                    o.reshape(half, m * nb), tiles[idx], out=t.reshape(half, m * nb)
-                )
-            else:
-                np.multiply(o, stage[1], out=t)
-        np.add(e, t, out=dst[:, :m])
-        np.subtract(e, t, out=dst[:, m:])
-        src = dst
-        bi ^= 1
-        m *= 2
-        big_k = half
-    return src.reshape(n, nb)
+    result = _run_network(
+        src, hold, [ping, out], out, tmp, n, nb, sign, schedule, stages, tiles
+    )
+    return result.reshape(n, nb)
 
 
-def _stockham_core_t(xt: np.ndarray, n: int, sign: int) -> np.ndarray:
+def _stockham_core_t(
+    xt: np.ndarray,
+    n: int,
+    sign: int,
+    variant: str = "radix2",
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Core network for input already in the ``(n, nb)`` column layout.
 
     *xt* holds one transform per column — exactly the internal Stockham
     orientation — so the entry transpose of :func:`_stockham_core`
-    disappears entirely: stage 0 reads *xt* in place (it is never
-    written) and the remaining stages ping-pong through scratch.
+    disappears entirely: pass 0 reads *xt* in place (it is never
+    written) and the remaining passes rotate through scratch.
     Output identical to ``_stockham_core(xt.T, ...)`` bit for bit.
     """
     nb = xt.shape[1]
-    tiles = _tiled_twiddles(n, sign, nb) if n * nb <= _TILE_MAX_ELEMENTS else None
-    stages = stage_twiddles(n, sign)
+    ctype = _kernel_ctype(xt)
+    tmax = _TILE_MAX_ELEMENTS if tile_elements is None else tile_elements
+    tiles = _tiled_twiddles(n, sign, nb, ctype) if n * nb <= tmax else None
+    stages = stage_twiddles(n, sign, ctype)
+    schedule = pass_schedule(n, variant)
     total = n * nb
-    out = np.empty(total, dtype=np.complex128)
-    _, ping, tmp = _scratch_buffers(total)
+    out = np.empty(total, dtype=ctype)
+    hold, ping, tmp = _scratch_buffers(total, ctype)
     src = xt[:, None, :]  # (n, 1, nb) view, works for strided column slices
-    # Ping-pong parity chosen so the LAST stage lands in the fresh
-    # output buffer — pooled scratch is recycled and must not escape.
-    bufs = (out, ping) if len(stages) % 2 == 1 else (ping, out)
-    m, big_k, bi = 1, n, 0
-    for idx, stage in enumerate(stages):
-        half = big_k // 2
-        e = src[:half]
-        o = src[half:]
-        dst = bufs[bi].reshape(half, 2 * m, nb)
-        if stage is None:
-            t = o
-        else:
-            t = tmp.reshape(half, m, nb)
-            if tiles is not None:
-                np.multiply(
-                    o.reshape(half, m * nb), tiles[idx], out=t.reshape(half, m * nb)
-                )
-            else:
-                np.multiply(o, stage[1], out=t)
-        np.add(e, t, out=dst[:, :m])
-        np.subtract(e, t, out=dst[:, m:])
-        src = dst
-        bi ^= 1
-        m *= 2
-        big_k = half
-    return src.reshape(n, nb)
+    result = _run_network(
+        src, None, [ping, hold, out], out, tmp, n, nb, sign, schedule, stages, tiles
+    )
+    return result.reshape(n, nb)
+
+
+def _stockham_single(
+    x2: np.ndarray, n: int, sign: int, variant: str = "radix2"
+) -> np.ndarray:
+    """Single-transform path: one length-*n* vector, batch axis of one."""
+    return _stockham_core_t(x2.reshape(n, 1), n, sign, variant).reshape(n)
 
 
 # Cache blocking: one transform's ping-pong working set is ~2.5 * n * nb
 # complex values; past this element count it overflows L2 and every
-# butterfly stage streams from L3/DRAM.  Batch rows are independent, so
+# butterfly pass streams from L3/DRAM.  Batch rows are independent, so
 # large batches are processed in groups small enough to keep the stage
 # passes cache-resident.  Grouping changes which SIMD lane computes each
-# element, never the operands — outputs are bit-identical.
+# element, never the operands — outputs are bit-identical.  The bound is
+# a tunable raced by the autotuner (0 disables grouping outright).
 _GROUP_MAX_ELEMENTS = 1 << 15
 
 
-def _stockham_core_grouped(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+def _group_bound(group_elements: int | None) -> int:
+    return _GROUP_MAX_ELEMENTS if group_elements is None else group_elements
+
+
+def _stockham_core_grouped(
+    x2: np.ndarray,
+    n: int,
+    sign: int,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Core network, cache-blocked over the batch axis; output ``(n, nb)``."""
     nb = x2.shape[0]
-    if n * nb <= _GROUP_MAX_ELEMENTS or _GROUP_MAX_ELEMENTS // n == 0:
-        return _stockham_core(x2, n, sign)
-    g = _GROUP_MAX_ELEMENTS // n
-    out = np.empty((n, nb), dtype=np.complex128)
+    gmax = _group_bound(group_elements)
+    if gmax <= 0 or n * nb <= gmax or gmax // n == 0:
+        return _stockham_core(x2, n, sign, variant, tile_elements)
+    g = gmax // n
+    out = np.empty((n, nb), dtype=_kernel_ctype(x2))
     for s in range(0, nb, g):
-        out[:, s : s + g] = _stockham_core(x2[s : s + g], n, sign)
+        out[:, s : s + g] = _stockham_core(x2[s : s + g], n, sign, variant, tile_elements)
     return out
 
 
-def _stockham_core_t_grouped(xt: np.ndarray, n: int, sign: int) -> np.ndarray:
+def _stockham_core_t_grouped(
+    xt: np.ndarray,
+    n: int,
+    sign: int,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Column-layout core, cache-blocked over the batch axis."""
     nb = xt.shape[1]
-    if n * nb <= _GROUP_MAX_ELEMENTS or _GROUP_MAX_ELEMENTS // n == 0:
-        return _stockham_core_t(xt, n, sign)
-    g = _GROUP_MAX_ELEMENTS // n
-    out = np.empty((n, nb), dtype=np.complex128)
+    gmax = _group_bound(group_elements)
+    if gmax <= 0 or n * nb <= gmax or gmax // n == 0:
+        return _stockham_core_t(xt, n, sign, variant, tile_elements)
+    g = gmax // n
+    out = np.empty((n, nb), dtype=_kernel_ctype(xt))
     for s in range(0, nb, g):
-        out[:, s : s + g] = _stockham_core_t(xt[:, s : s + g], n, sign)
+        out[:, s : s + g] = _stockham_core_t(
+            xt[:, s : s + g], n, sign, variant, tile_elements
+        )
     return out
 
 
-def _stockham_batched(x2: np.ndarray, n: int, sign: int) -> np.ndarray:
+def _stockham_batched(
+    x2: np.ndarray,
+    n: int,
+    sign: int,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Batched path: core network plus the transpose back to ``(nb, n)``."""
-    return np.ascontiguousarray(_stockham_core_grouped(x2, n, sign).T)
+    return np.ascontiguousarray(
+        _stockham_core_grouped(x2, n, sign, variant, group_elements, tile_elements).T
+    )
 
 
-def stockham_fft_tt(xt: np.ndarray, sign: int) -> np.ndarray:
+def stockham_fft_tt(
+    xt: np.ndarray,
+    sign: int,
+    *,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Transform each *column* of 2-D *xt*, returned as ``(n, nb)``.
 
     The fully fused variant: input already column-major per transform
     (the Stockham internal layout) and output in the same orientation —
     neither the entry nor the exit transpose of :func:`stockham_fft` is
-    paid.  Values are bit-identical to ``stockham_fft(xt.T, sign).T``.
+    paid.  Values are bit-identical to ``stockham_fft(xt.T, sign).T``
+    for every (variant, grouping, tiling) choice.
     """
     n, nb = xt.shape
+    ctype = _kernel_ctype(np.asarray(xt))
     if n == 1:
-        return np.array(xt, dtype=np.complex128, copy=True)
+        return np.array(xt, dtype=ctype, copy=True)
     if nb == 1:
-        flat = np.ascontiguousarray(xt.reshape(n), dtype=np.complex128)
-        return _stockham_single(flat, n, sign).reshape(n, 1)
-    return _stockham_core_t_grouped(np.asarray(xt, dtype=np.complex128), n, sign)
+        flat = np.ascontiguousarray(xt.reshape(n), dtype=ctype)
+        return _stockham_single(flat, n, sign, variant).reshape(n, 1)
+    return _stockham_core_t_grouped(
+        np.asarray(xt, dtype=ctype), n, sign, variant, group_elements, tile_elements
+    )
 
 
-def stockham_fft_t(x2: np.ndarray, sign: int) -> np.ndarray:
+def stockham_fft_t(
+    x2: np.ndarray,
+    sign: int,
+    *,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Transform each row of 2-D *x2*, returned transposed as ``(n, nb)``.
 
     Column ``i`` of the result is the transform of row ``i`` — the same
@@ -366,21 +572,30 @@ def stockham_fft_t(x2: np.ndarray, sign: int) -> np.ndarray:
     bit-identical numbers).
     """
     nb, n = x2.shape
+    ctype = _kernel_ctype(np.asarray(x2))
     if n == 1:
-        return np.ascontiguousarray(x2.T)
-    x2 = np.ascontiguousarray(x2)
+        return np.ascontiguousarray(x2.T, dtype=ctype)
+    x2 = np.ascontiguousarray(x2, dtype=ctype)
     if nb == 1:
-        return _stockham_single(x2.reshape(n), n, sign).reshape(n, 1)
-    return _stockham_core_grouped(x2, n, sign)
+        return _stockham_single(x2.reshape(n), n, sign, variant).reshape(n, 1)
+    return _stockham_core_grouped(x2, n, sign, variant, group_elements, tile_elements)
 
 
-def stockham_fft(x: np.ndarray, sign: int) -> np.ndarray:
+def stockham_fft(
+    x: np.ndarray,
+    sign: int,
+    *,
+    variant: str = "radix2",
+    group_elements: int | None = None,
+    tile_elements: int | None = None,
+) -> np.ndarray:
     """Unscaled radix-2 transform over the last axis of *x*.
 
-    *x* must be complex128 with a power-of-two last dimension (the
-    contract of the former bit-reversal core).  ``sign=-1`` is the
-    forward transform, ``sign=+1`` the unscaled inverse.  Returns a new
-    array; the input is never modified.
+    *x* must be complex with a power-of-two last dimension; complex64
+    runs natively single-precision, everything else computes in
+    complex128 (the contract of the former bit-reversal core).
+    ``sign=-1`` is the forward transform, ``sign=+1`` the unscaled
+    inverse.  Returns a new array; the input is never modified.
     """
     n = x.shape[-1]
     if n == 1:
@@ -391,7 +606,7 @@ def stockham_fft(x: np.ndarray, sign: int) -> np.ndarray:
         nb *= dim
     x2 = np.ascontiguousarray(x).reshape(nb, n)
     if nb == 1:
-        out = _stockham_single(x2.reshape(n), n, sign)
+        out = _stockham_single(x2.reshape(n), n, sign, variant)
     else:
-        out = _stockham_batched(x2, n, sign)
+        out = _stockham_batched(x2, n, sign, variant, group_elements, tile_elements)
     return out.reshape(*batch, n)

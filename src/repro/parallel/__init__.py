@@ -1,6 +1,8 @@
 """Distributed FFT algorithms on the simulated message-passing runtime.
 
 - :func:`soi_fft_distributed` — the paper's contribution: ONE all-to-all;
+- :func:`rfft_distributed` — real input via the packed half-length
+  trick: the one all-to-all at HALF the volume;
 - :func:`transpose_fft_distributed` — the MKL/FFTW/FFTE-class baseline:
   THREE all-to-alls (six-step algorithm);
 - :func:`allgather_fft_distributed` — the replicate-everything strawman.
@@ -17,6 +19,7 @@ from .distribution import (
     scatter_blocks,
     split_blocks,
 )
+from .real_dist import rfft_distributed
 from .resilience import SoiResilience
 from .selfcheck import parseval_check, verified_alltoall, verified_sendrecv
 from .soi_dist import (
@@ -38,6 +41,7 @@ __all__ = [
     "verified_alltoall",
     "verified_sendrecv",
     "SoiResilience",
+    "rfft_distributed",
     "soi_fft_distributed",
     "soi_ifft_distributed",
     "soi_rank_layout",

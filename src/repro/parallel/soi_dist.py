@@ -31,7 +31,8 @@ import numpy as np
 
 from ..core.accuracy import error_budget
 from ..core.plan import SoiPlan
-from ..dft.backends import FftBackend, backend_fft_tt, get_backend
+from ..core.soi import _plan_fft, _plan_fft_tt
+from ..dft.backends import FftBackend, get_backend
 from ..dft.flops import fft_flops, soi_convolution_flops
 from ..simmpi.comm import Communicator, waitall, waitany
 from ..trace.spans import TraceRecorder
@@ -198,7 +199,7 @@ def soi_fft_distributed(
     layout = soi_rank_layout(plan, comm.size)
     block = layout["block"]
     s_per = layout["segments_per_rank"]
-    vec = np.ascontiguousarray(x_local, dtype=np.complex128)
+    vec = np.ascontiguousarray(x_local, dtype=plan.dtype)
     require(
         vec.shape == (block,),
         f"rank {comm.rank}: expected local block of {block} samples, got {vec.shape}",
@@ -206,6 +207,10 @@ def soi_fft_distributed(
     if resilience is not None:
         require(not overlap, "resilience= and overlap= are mutually exclusive")
         require(not verify, "resilience= and verify= are mutually exclusive")
+        require(
+            plan.dtype == np.dtype(np.complex128),
+            "resilience= requires a complex128 plan (ABFT checksums are double)",
+        )
         if comm.size > 1:
             return _soi_fft_resilient(comm, vec, plan, be, layout, resilience)
     if overlap and comm.size > 1:
@@ -248,7 +253,7 @@ def soi_fft_distributed(
     # the fused fft_tt keeps that layout: exactly the segment-major
     # orientation the all-to-all delivers, so neither the transform nor
     # packing pays a copy (values bit-identical to fft + transposes).
-    v_t = backend_fft_tt(be, z_t)
+    v_t = _plan_fft_tt(be, z_t, plan)
     comm.trace_compute("fft-p", layout["rows_per_rank"] * fft_flops(plan.p))
 
     # -- 4. THE all-to-all: deliver segment rows to their owners. ---------
@@ -275,7 +280,7 @@ def soi_fft_distributed(
     # (S, M'), rows in src order — identical element order to
     # np.concatenate(list(mat), axis=1).
     segs = np.ascontiguousarray(mat.transpose(1, 0, 2)).reshape(s_per, -1)
-    yt = be.fft(segs)
+    yt = _plan_fft(be, segs, plan)
     comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
     y_local = yt[:, : plan.m] * plan.demod_recip[None, :]
     y_local = y_local.reshape(block)
@@ -346,8 +351,8 @@ def _soi_fft_pipelined(
     # Extended-input workspace with a zero tail; re-derived (same buffer,
     # same strides) once the halo lands, so the per-window contraction is
     # literally the blocking path's einsum on identical bytes.
-    winb = plan.window_view(vec, np.zeros(plan.halo, dtype=np.complex128), q_local)
-    segs = np.empty((s_per, plan.m_over), dtype=np.complex128)
+    winb = plan.window_view(vec, np.zeros(plan.halo, dtype=plan.dtype), q_local)
+    segs = np.empty((s_per, plan.m_over), dtype=plan.dtype)
     my0 = comm.rank * rows_pr
     halo = None
     pool: list[tuple | None] = [None, None]
@@ -373,7 +378,7 @@ def _soi_fft_pipelined(
             soi_convolution_flops((q1 - q0) * plan.mu * plan.p, plan.b),
             kind="conv",
         )
-        vg = backend_fft_tt(be, zg).reshape(comm.size, s_per, -1)
+        vg = _plan_fft_tt(be, zg, plan).reshape(comm.size, s_per, -1)
         comm.trace_compute("fft-p", (q1 - q0) * plan.mu * fft_flops(plan.p))
         with comm.phase("alltoall"):
             slot = g % 2
@@ -429,7 +434,7 @@ def _soi_fft_pipelined(
             if s != comm.rank and fixed[s] is not pieces[s]:
                 segs[:, s * rows_pr : (s + 1) * rows_pr] = fixed[s]
 
-    yt = be.fft(segs)
+    yt = _plan_fft(be, segs, plan)
     comm.trace_compute("fft-m", s_per * fft_flops(plan.m_over))
     y_local = yt[:, : plan.m] * plan.demod_recip[None, :]
     y_local = y_local.reshape(block)
@@ -472,7 +477,7 @@ def soi_ifft_distributed(
     too, so :attr:`SoiResilience.recovered_blocks` holds *inverse*
     blocks after this call.
     """
-    vec = np.ascontiguousarray(y_local, dtype=np.complex128)
+    vec = np.ascontiguousarray(y_local, dtype=plan.dtype)
     forward = soi_fft_distributed(
         comm, np.conj(vec), plan, backend=backend,
         verify=verify, verify_rounds=verify_rounds, trace=trace,

@@ -68,19 +68,29 @@ def batch_flops(requests: list[TransformRequest]) -> float:
 
 
 def batch_bytes(requests: list[TransformRequest]) -> int:
-    """Payload bytes moved through the batch (inputs, complex128)."""
-    return int(sum(r.n * 16 for r in requests))
+    """Payload bytes moved through the batch (itemsize-aware: a
+    complex64 batch counts half the bytes of a complex128 one)."""
+    return int(sum(r.payload.nbytes for r in requests))
 
 
 def _execute_dft(requests: list[TransformRequest]) -> list[np.ndarray]:
     head = requests[0]
     xs = np.stack([r.payload for r in requests])
     inverse = head.direction == "inverse"
+    # complex64 requests ride the float32 pipeline end to end (the batch
+    # key carries the payload dtype, so a batch is homogeneous); every
+    # other dtype keeps the historical complex128 compute contract.
+    single = np.dtype(head.payload.dtype) == np.complex64
     if head.library == "numpy":
-        xs = np.ascontiguousarray(xs, dtype=np.complex128)
+        xs = np.ascontiguousarray(
+            xs, dtype=np.complex64 if single else np.complex128
+        )
         out = np.fft.ifft(xs, axis=-1) if inverse else np.fft.fft(xs, axis=-1)
     else:
-        out = plan_for(head.n, head.payload.dtype).execute(xs, inverse=inverse)
+        plan = plan_for(
+            head.n, head.payload.dtype, precision="single" if single else None
+        )
+        out = plan.execute(xs, inverse=inverse)
     return list(out)
 
 

@@ -105,7 +105,11 @@ class TransformRequest:
         execute per-request inside it.
         """
         if self.backend == "dft":
-            return ("dft", self.n, self.direction, self.library)
+            # Payload dtype is a kernel input: a complex64 batch head
+            # must not pull complex128 requests (or vice versa) into a
+            # dispatch planned at the wrong precision.
+            return ("dft", self.n, self.direction, self.library,
+                    np.dtype(self.payload.dtype).str)
         if self.backend == "soi":
             p = self.params
             return (

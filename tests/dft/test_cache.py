@@ -65,13 +65,13 @@ class TestCacheBasics:
     def test_clear_resets_counters(self):
         plan_for(64)
         clear_plan_cache()
-        assert plan_cache_info() == {
-            "entries": 0,
-            "hits": 0,
-            "misses": 0,
-            "evictions": 0,
-            "max_plans": plan_cache_info()["max_plans"],
-        }
+        info = plan_cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["evictions"] == 0
+        # The wisdom counters ride along (tuned-kernel tier).
+        assert {"wisdom_entries", "wisdom_hits", "races_run"} <= info.keys()
 
 
 class TestCachedOutputs:

@@ -28,9 +28,14 @@ class TestRfft:
         with pytest.raises(TypeError, match="real"):
             rfft(np.zeros(8, dtype=complex))
 
-    def test_rejects_odd_length(self):
-        with pytest.raises(ValueError, match="even"):
-            rfft(np.zeros(9))
+    @pytest.mark.parametrize("n", [3, 9, 15, 27, 101, 255])
+    def test_odd_lengths_match_numpy(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-9 * n)
+
+    def test_odd_length_batched(self, rng):
+        x = rng.standard_normal((3, 45))
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x, axis=-1), atol=1e-9)
 
     def test_cosine_line(self):
         n, f = 64, 5

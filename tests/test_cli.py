@@ -59,6 +59,7 @@ class TestCli:
             "bench-serve",
             "bench-a2a",
             "bench-scale",
+            "bench-tune",
             "serve",
             "check",
             "fig5",
